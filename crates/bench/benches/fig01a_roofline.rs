@@ -1,0 +1,41 @@
+//! Fig. 1a: roofline analysis — workload performance with data in local
+//! memory (1024 GB/s) vs CXL memory (128 GB/s).
+
+use m2ndp::host::roofline::{fig1a_workloads, Roofline};
+use m2ndp_bench::table::Table;
+
+fn main() {
+    const PEAK_OPS: f64 = 35.6e12;
+    let local = Roofline::local_memory(PEAK_OPS);
+    let cxl = Roofline::cxl_memory(PEAK_OPS);
+    let mut t = Table::new(vec![
+        "workload",
+        "OI (ops/B)",
+        "local (Gops/s)",
+        "CXL (Gops/s)",
+        "slowdown",
+    ]);
+    let mut worst = 0f64;
+    let mut sum = 0f64;
+    let points = fig1a_workloads();
+    for w in &points {
+        let l = local.attainable(w.oi);
+        let c = cxl.attainable(w.oi);
+        let slow = l / c;
+        worst = worst.max(slow);
+        sum += slow;
+        t.row(vec![
+            w.name.to_string(),
+            format!("{:.2}", w.oi),
+            format!("{:.0}", l / 1e9),
+            format!("{:.0}", c / 1e9),
+            format!("{slow:.1}x"),
+        ]);
+    }
+    t.print("Fig. 1a — roofline: local vs CXL memory (paper: up to 9.9x, avg 6.3x)");
+    println!(
+        "slowdown: max {:.1}x, avg {:.1}x (paper reports up to 9.9x, avg 6.3x incl. latency effects)",
+        worst,
+        sum / points.len() as f64
+    );
+}

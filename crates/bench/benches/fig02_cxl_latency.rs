@@ -1,0 +1,35 @@
+//! Fig. 2: CXL.mem round-trip latency budget and the derived load-to-use
+//! figures used throughout the evaluation.
+
+use m2ndp::cxl::CxlLinkConfig;
+use m2ndp_bench::table::Table;
+
+fn main() {
+    let mut t = Table::new(vec!["component", "round-trip (ns)"]);
+    // The budget of Fig. 2 (from D. D. Sharma [120]).
+    for (name, ns) in [
+        ("CXL.$Mem TL queues/processing", "21-25"),
+        ("CXL.$Mem LL (CRC, credits, replay)", "10-20"),
+        ("Arbiter/Mux (CPI)", "15-19"),
+        ("PHY logical + PCIe PHY", "4 + 2"),
+        ("physical wires", "~2"),
+        ("total CXL.mem protocol round trip", "52-70"),
+    ] {
+        t.row(vec![name.to_string(), ns.to_string()]);
+    }
+    t.print("Fig. 2 — CXL.mem round-trip latency budget (ns)");
+
+    let mut t2 = Table::new(vec!["configuration", "one-way (ns)", "load-to-use (ns)"]);
+    for (label, cfg) in [
+        ("default", CxlLinkConfig::default_150ns()),
+        ("2xLtU", CxlLinkConfig::default_150ns().with_ltu_scale(2.0)),
+        ("4xLtU", CxlLinkConfig::default_150ns().with_ltu_scale(4.0)),
+    ] {
+        t2.row(vec![
+            label.to_string(),
+            format!("{:.0}", cfg.one_way_ns),
+            format!("{:.0}", cfg.load_to_use_ns()),
+        ]);
+    }
+    t2.print("derived link configurations (Table IV latencies)");
+}

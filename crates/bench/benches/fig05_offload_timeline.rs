@@ -1,0 +1,48 @@
+//! Fig. 5: NDP offload timelines — M²func vs CXL.io ring buffer vs CXL.io
+//! direct MMIO, with the paper's example latencies (x = 75 ns, y = 500 ns,
+//! z = 6.4 µs from DLRM(SLS)-B32).
+
+use m2ndp::host::offload::{OffloadMechanism, OffloadModel};
+use m2ndp_bench::table::Table;
+
+fn main() {
+    let z = 6400.0; // ns, DLRM(SLS)-B32 kernel runtime (§IV-C)
+    let m2 = OffloadModel::with_defaults(OffloadMechanism::M2Func);
+    let rb = OffloadModel::with_defaults(OffloadMechanism::CxlIoRingBuffer);
+    let dr = OffloadModel::with_defaults(OffloadMechanism::CxlIoDirect);
+
+    let mut t = Table::new(vec![
+        "scheme",
+        "pre (ns)",
+        "post (ns)",
+        "comm total",
+        "end-to-end",
+        "concurrent kernels",
+    ]);
+    for (name, m) in [("M2func (z+2x)", &m2), ("CXL.io ring buffer (z+8y)", &rb), ("CXL.io direct (z+3y)", &dr)] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.0}", m.pre_ns()),
+            format!("{:.0}", m.post_ns()),
+            format!("{:.0}", m.overhead_ns()),
+            format!("{:.0}", m.end_to_end_ns(z)),
+            format!("{}", m.max_concurrent()),
+        ]);
+    }
+    t.print("Fig. 5 — offload timelines (x=75ns, y=500ns, z=6.4us)");
+
+    let comm_vs_rb = 1.0 - m2.overhead_ns() / rb.overhead_ns();
+    let comm_vs_dr = 1.0 - m2.overhead_ns() / dr.overhead_ns();
+    let e2e_vs_rb = 1.0 - m2.end_to_end_ns(z) / rb.end_to_end_ns(z);
+    let e2e_vs_dr = 1.0 - m2.end_to_end_ns(z) / dr.end_to_end_ns(z);
+    println!(
+        "M2func reduces communication overhead by {:.0}% (vs RB) / {:.0}% (vs DR)",
+        comm_vs_rb * 100.0,
+        comm_vs_dr * 100.0
+    );
+    println!(
+        "and end-to-end runtime by {:.0}% / {:.0}% (paper: 33-75% and 17-37%)",
+        e2e_vs_rb * 100.0,
+        e2e_vs_dr * 100.0
+    );
+}

@@ -1,0 +1,57 @@
+//! Fig. 15: energy and performance-per-energy, normalized to the baseline.
+
+use m2ndp::energy::EnergyModel;
+use m2ndp_bench::platforms::Platform;
+use m2ndp_bench::runner::{run, GpuWorkload};
+use m2ndp_bench::table::Table;
+use m2ndp_bench::geomean;
+
+fn main() {
+    let workloads = [
+        GpuWorkload::Spmv,
+        GpuWorkload::Pgrank,
+        GpuWorkload::DlrmB4,
+        GpuWorkload::DlrmB256,
+        GpuWorkload::Opt30,
+    ];
+    let mut t = Table::new(vec![
+        "workload",
+        "platform",
+        "norm. energy",
+        "norm. perf/energy",
+    ]);
+    let mut energy_savings = Vec::new();
+    let mut ppe_gains = Vec::new();
+    for w in workloads {
+        let base = run(Platform::GpuBaseline, w);
+        let base_freq = m2ndp::sim::Frequency::mhz(1695.0);
+        let base_e = EnergyModel::gpu().energy_j(&base.stats, base_freq);
+
+        for (p, model) in [
+            (Platform::GpuNdpIsoArea, EnergyModel::gpu_ndp(16)),
+            (Platform::M2ndp, EnergyModel::m2ndp()),
+        ] {
+            let r = run(p, w);
+            let freq = m2ndp::sim::Frequency::ghz(2.0);
+            let e = model.energy_j(&r.stats, freq);
+            let norm_e = e / base_e;
+            let ppe = (base.ns * base_e) / (r.ns * e);
+            if p == Platform::M2ndp {
+                energy_savings.push(1.0 - norm_e);
+                ppe_gains.push(ppe);
+            }
+            t.row(vec![
+                w.label().to_string(),
+                p.label().to_string(),
+                format!("{norm_e:.3}"),
+                format!("{ppe:.1}x"),
+            ]);
+        }
+    }
+    t.print("Fig. 15 — energy & perf/energy vs GPU baseline (paper: -78.2% energy, up to 106x perf/energy)");
+    println!(
+        "M2NDP average energy saving: {:.0}% (paper: 78.2% for GPU workloads); perf/energy geomean {:.1}x (paper avg 32x)",
+        energy_savings.iter().sum::<f64>() / energy_savings.len() as f64 * 100.0,
+        geomean(&ppe_gains)
+    );
+}

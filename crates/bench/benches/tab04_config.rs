@@ -1,0 +1,76 @@
+//! Table IV: the simulator configuration, asserted against the paper's
+//! numbers (also enforced by unit tests in `m2ndp-core`).
+
+use m2ndp::core::{EngineConfig, M2ndpConfig};
+use m2ndp::mem::DramConfig;
+use m2ndp_bench::table::Table;
+
+fn main() {
+    let e = EngineConfig::m2ndp();
+    let d = M2ndpConfig::default_device();
+    let mut t = Table::new(vec!["parameter", "value", "Table IV"]);
+    t.row(vec!["NDP units".into(), e.units.to_string(), "32 @ 2 GHz".into()]);
+    t.row(vec![
+        "sub-cores/unit".to_string(),
+        e.subcores_per_unit.to_string(),
+        "4".into(),
+    ]);
+    t.row(vec![
+        "uthread slots/sub-core".to_string(),
+        e.slots_per_subcore.to_string(),
+        "16".into(),
+    ]);
+    t.row(vec![
+        "register file/unit".to_string(),
+        format!("{} KB", e.regfile_bytes_per_unit >> 10),
+        "48 KB".into(),
+    ]);
+    t.row(vec![
+        "scratchpad/L1D".to_string(),
+        format!("{} KB", e.spad_bytes_per_unit >> 10),
+        "128 KB".into(),
+    ]);
+    t.row(vec![
+        "max concurrent kernels".to_string(),
+        e.max_concurrent_kernels.to_string(),
+        "48".into(),
+    ]);
+    t.row(vec![
+        "CXL link".to_string(),
+        format!(
+            "{} GB/s each dir, LtU {} ns",
+            d.link.bw_per_dir_bytes_per_sec / 1e9,
+            d.link.load_to_use_ns()
+        ),
+        "64 GB/s, 150 ns".into(),
+    ]);
+    let dram = DramConfig::lpddr5_cxl();
+    t.row(vec![
+        "device DRAM".to_string(),
+        format!(
+            "{}ch {} @ {:.1} GB/s",
+            dram.channels,
+            dram.name,
+            dram.peak_bw_bytes_per_sec / 1e9
+        ),
+        "32ch LPDDR5 409.6 GB/s".into(),
+    ]);
+    t.row(vec![
+        "DRAM timing (tRC/tRCD/tCL/tRP)".to_string(),
+        format!(
+            "{}/{}/{}/{}",
+            dram.timing.t_rc, dram.timing.t_rcd, dram.timing.t_cl, dram.timing.t_rp
+        ),
+        "48/15/20/15".into(),
+    ]);
+    t.row(vec![
+        "memory-side L2".to_string(),
+        format!(
+            "{} KB/channel, {}-way",
+            d.l2_slice.capacity_bytes >> 10,
+            d.l2_slice.ways
+        ),
+        "128 KB/ch, 16-way".into(),
+    ]);
+    t.print("Table IV — simulator configuration");
+}

@@ -1,0 +1,12 @@
+//! Table V: the workload inventory.
+
+use m2ndp::workloads::catalog;
+use m2ndp_bench::table::Table;
+
+fn main() {
+    let mut t = Table::new(vec!["workload", "baseline", "input problem", "data in CXL mem"]);
+    for e in catalog() {
+        t.row(vec![e.name, e.baseline, e.input, e.cxl_data]);
+    }
+    t.print("Table V — workloads used for evaluation");
+}

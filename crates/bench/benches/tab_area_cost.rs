@@ -1,0 +1,40 @@
+//! §IV-F hardware cost: the NDP-unit area ledger.
+
+use m2ndp::energy::AreaModel;
+use m2ndp_bench::table::Table;
+
+fn main() {
+    let a = AreaModel::default();
+    let mut t = Table::new(vec!["component", "area (mm^2)", "paper"]);
+    t.row(vec![
+        "register files / unit".to_string(),
+        format!("{:.2}", a.regfile_mm2),
+        "0.25".into(),
+    ]);
+    t.row(vec![
+        "unified L1/scratchpad / unit".to_string(),
+        format!("{:.2}", a.l1_spad_mm2),
+        "0.45".into(),
+    ]);
+    t.row(vec![
+        "64 uthread slots".to_string(),
+        format!("{:.3}", a.per_slot_mm2 * 64.0),
+        "0.128".into(),
+    ]);
+    t.row(vec![
+        "one NDP unit".to_string(),
+        format!("{:.2}", a.unit_mm2(64)),
+        "0.83".into(),
+    ]);
+    t.row(vec![
+        "32 NDP units".to_string(),
+        format!("{:.1}", a.device_mm2(32, 64)),
+        "26.4".into(),
+    ]);
+    t.row(vec![
+        "GPU SM (iso-area ref)".to_string(),
+        format!("{:.2}", AreaModel::gpu_sm_mm2()),
+        "26.4 / 16.2 SMs".into(),
+    ]);
+    t.print("§IV-F — NDP unit area at 7 nm");
+}

@@ -1,0 +1,52 @@
+//! `cellprobe` — runs a single (workload, platform) cell of Fig. 10c and
+//! prints simulated and wall-clock time. Handy for sizing the bench suite.
+//!
+//! ```text
+//! cargo run --release -p m2ndp-bench --bin cellprobe -- h256 m2
+//! ```
+//!
+//! Workloads: h256 h4096 spmv pgrank sssp d4 d32 d256 o27 o30.
+//! Platforms: base isof g4x g16x isoa m2.
+
+use m2ndp_bench::platforms::Platform;
+use m2ndp_bench::runner::{run, GpuWorkload};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: cellprobe <workload> <platform>");
+        eprintln!("workloads: h256 h4096 spmv pgrank sssp d4 d32 d256 o27 o30");
+        eprintln!("platforms: base isof g4x g16x isoa m2");
+        std::process::exit(2);
+    }
+    let w = match args[1].as_str() {
+        "h256" => GpuWorkload::Histo256,
+        "h4096" => GpuWorkload::Histo4096,
+        "spmv" => GpuWorkload::Spmv,
+        "pgrank" => GpuWorkload::Pgrank,
+        "sssp" => GpuWorkload::Sssp,
+        "d4" => GpuWorkload::DlrmB4,
+        "d32" => GpuWorkload::DlrmB32,
+        "d256" => GpuWorkload::DlrmB256,
+        "o27" => GpuWorkload::Opt27,
+        _ => GpuWorkload::Opt30,
+    };
+    let p = match args[2].as_str() {
+        "base" => Platform::GpuBaseline,
+        "isof" => Platform::GpuNdpIsoFlops,
+        "g4x" => Platform::GpuNdp4xFlops,
+        "g16x" => Platform::GpuNdp16xFlops,
+        "isoa" => Platform::GpuNdpIsoArea,
+        _ => Platform::M2ndp,
+    };
+    let t = Instant::now();
+    let r = run(p, w);
+    println!(
+        "{} on {}: simulated {:.1} us, wall {:?}",
+        w.label(),
+        p.label(),
+        r.ns / 1e3,
+        t.elapsed()
+    );
+}

@@ -1,0 +1,39 @@
+//! The experiment harness: everything the per-figure bench targets share.
+//!
+//! Each bench target in `benches/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §4 for the index), printing the same
+//! rows/series the paper reports. The harness here provides:
+//!
+//! * [`table::Table`] — aligned console tables;
+//! * [`platforms`] — builders for the compared systems at a documented
+//!   scale factor (all unit counts divided by 4 so each experiment runs in
+//!   seconds; the BW ratios that drive the results are scale-invariant);
+//! * [`runner`] — runs one Table V workload on one platform end to end
+//!   (generate → launch → simulate → verify) and reports runtime and
+//!   device statistics.
+
+#![warn(missing_docs)]
+
+pub mod platforms;
+pub mod runner;
+pub mod table;
+
+/// Geometric mean of a slice (0.0 for empty input).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+}

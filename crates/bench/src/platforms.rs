@@ -1,0 +1,123 @@
+//! The compared systems at bench scale.
+//!
+//! All unit counts are the paper's divided by [`SCALE`] (= 4) so each
+//! experiment simulates in seconds. The results the figures report are
+//! ratios between bandwidth-bound systems; the ratios are set by the CXL
+//! link (64 GB/s), the device-internal DRAM (409.6 GB/s) and the
+//! architectural mechanisms, none of which scale with unit count as long as
+//! compute is not the bottleneck (these are memory-bound workloads by
+//! construction — Fig. 1a). EXPERIMENTS.md records the scaled and paper
+//! parameters side by side.
+
+use m2ndp::core::CxlM2ndpDevice;
+use m2ndp::sim::Frequency;
+use m2ndp::SystemBuilder;
+
+/// Unit-count divisor applied to every platform.
+pub const SCALE: u32 = 4;
+
+/// The systems of Fig. 10c.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Host GPU (82/SCALE SMs, HBM2 local) + passive CXL expander.
+    GpuBaseline,
+    /// GPU-NDP with FLOPS equal to M²NDP's 32 units (8 SMs in the paper).
+    GpuNdpIsoFlops,
+    /// GPU-NDP with 4× FLOPS (32 SMs).
+    GpuNdp4xFlops,
+    /// GPU-NDP with 16× FLOPS (128 SMs).
+    GpuNdp16xFlops,
+    /// GPU-NDP with the same silicon area as M²NDP (16.2 SMs → 4 SMs at
+    /// bench scale).
+    GpuNdpIsoArea,
+    /// The paper's CXL-M²NDP (32 units → 8 at bench scale).
+    M2ndp,
+}
+
+impl Platform {
+    /// All Fig. 10c platforms in presentation order.
+    pub fn all() -> Vec<Platform> {
+        vec![
+            Platform::GpuBaseline,
+            Platform::GpuNdpIsoFlops,
+            Platform::GpuNdp4xFlops,
+            Platform::GpuNdp16xFlops,
+            Platform::GpuNdpIsoArea,
+            Platform::M2ndp,
+        ]
+    }
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Platform::GpuBaseline => "Baseline",
+            Platform::GpuNdpIsoFlops => "GPU-NDP(Iso-FLOPS)",
+            Platform::GpuNdp4xFlops => "GPU-NDP(4xFLOPS)",
+            Platform::GpuNdp16xFlops => "GPU-NDP(16xFLOPS)",
+            Platform::GpuNdpIsoArea => "GPU-NDP(Iso-Area)",
+            Platform::M2ndp => "M2NDP",
+        }
+    }
+
+    /// Builds the device at bench scale.
+    pub fn build(&self) -> CxlM2ndpDevice {
+        match self {
+            Platform::GpuBaseline => {
+                // 82 SMs / SCALE ≈ 20 SMs at 1695 MHz, data remote.
+                let mut b = SystemBuilder::gpu_baseline();
+                b.config_mut().engine.units = (82 / SCALE).max(1);
+                b.build()
+            }
+            Platform::GpuNdpIsoFlops => SystemBuilder::gpu_ndp((8 / SCALE).max(1), 4).build(),
+            Platform::GpuNdp4xFlops => SystemBuilder::gpu_ndp(32 / SCALE, 4).build(),
+            Platform::GpuNdp16xFlops => SystemBuilder::gpu_ndp(128 / SCALE, 4).build(),
+            Platform::GpuNdpIsoArea => SystemBuilder::gpu_ndp(16 / SCALE, 4).build(),
+            Platform::M2ndp => SystemBuilder::m2ndp().units(32 / SCALE).build(),
+        }
+    }
+
+    /// The `units` argument workload launches should pass: 1 whenever the
+    /// engine spawns in threadblock batches (each batch's initializer is a
+    /// single µthread, so the arg-block init count is 1 — this includes the
+    /// "w/o fine-grained" ablation), the engine unit count otherwise.
+    pub fn spad_units_arg(&self, device: &CxlM2ndpDevice) -> u32 {
+        if device.config().engine.spawn_batch_contexts > 1 {
+            1
+        } else {
+            device.config().engine.units
+        }
+    }
+
+    /// The platform's core clock (for cycle→ns conversion).
+    pub fn freq(&self, device: &CxlM2ndpDevice) -> Frequency {
+        device.config().engine.freq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_platforms_build() {
+        for p in Platform::all() {
+            let d = p.build();
+            assert!(d.config().engine.units >= 1, "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn baseline_routes_data_remotely() {
+        let d = Platform::GpuBaseline.build();
+        assert!(d.config().workload_data_remote);
+        let m = Platform::M2ndp.build();
+        assert!(!m.config().workload_data_remote);
+    }
+
+    #[test]
+    fn iso_flops_is_quarter_of_m2ndp_units() {
+        let iso = Platform::GpuNdpIsoFlops.build();
+        let m2 = Platform::M2ndp.build();
+        assert_eq!(iso.config().engine.units * 4, m2.config().engine.units);
+    }
+}

@@ -1,0 +1,727 @@
+//! Sectored set-associative cache with MSHRs.
+//!
+//! The cache is *decoupled*: it classifies accesses and parks missing
+//! request tokens in MSHRs; the owning component is responsible for sending
+//! the returned fetch addresses downstream and calling [`SectoredCache::fill`]
+//! when data returns. This keeps the cache reusable across the NDP L1D, the
+//! memory-side L2 slices, host L1/L2/L3 and the GPU caches, which all wire
+//! into different interconnects.
+
+use std::collections::VecDeque;
+
+use m2ndp_sim::{Counter, Cycle};
+
+/// Write-handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Writes update the line if present and always forward downstream
+    /// (no write-allocate). Used by NDP/GPU L1D (§III-F).
+    WriteThrough,
+    /// Writes allocate and mark sectors dirty; dirty sectors flush on
+    /// eviction. Used by host caches and the memory-side L2.
+    WriteBack,
+}
+
+/// Geometry and behaviour of one cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total data capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Sector size in bytes; `line_bytes` for unsectored caches.
+    pub sector_bytes: u32,
+    /// Hit latency in owner-clock cycles.
+    pub hit_latency: Cycle,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Maximum outstanding missed lines.
+    pub mshr_entries: usize,
+}
+
+impl CacheConfig {
+    /// The NDP unit's combined L1D/scratchpad array in cache mode:
+    /// 128 KB, 16-way, 128 B line, 32 B sector, 4-cycle hit (Table IV).
+    pub fn ndp_l1d() -> Self {
+        Self {
+            capacity_bytes: 128 << 10,
+            ways: 16,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 4,
+            write_policy: WritePolicy::WriteThrough,
+            mshr_entries: 64,
+        }
+    }
+
+    /// One memory-side L2 slice: 128 KB per memory channel, 16-way, 7-cycle,
+    /// 128 B line, 32 B sector (Table IV).
+    pub fn memside_l2_slice() -> Self {
+        Self {
+            capacity_bytes: 128 << 10,
+            ways: 16,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 7,
+            write_policy: WritePolicy::WriteBack,
+            mshr_entries: 64,
+        }
+    }
+
+    /// Host L1D: 64 KB, 8-way, 4-cycle, 64 B line (Table IV).
+    pub fn host_l1() -> Self {
+        Self {
+            capacity_bytes: 64 << 10,
+            ways: 8,
+            line_bytes: 64,
+            sector_bytes: 64,
+            hit_latency: 4,
+            write_policy: WritePolicy::WriteBack,
+            mshr_entries: 16,
+        }
+    }
+
+    /// Host L2: 1 MB, 8-way, 12-cycle, 64 B line (Table IV).
+    pub fn host_l2() -> Self {
+        Self {
+            capacity_bytes: 1 << 20,
+            ways: 8,
+            line_bytes: 64,
+            sector_bytes: 64,
+            hit_latency: 12,
+            write_policy: WritePolicy::WriteBack,
+            mshr_entries: 32,
+        }
+    }
+
+    /// Host shared L3: 96 MB, 16-way, 74-cycle, 64 B line (Table IV).
+    pub fn host_l3() -> Self {
+        Self {
+            capacity_bytes: 96 << 20,
+            ways: 16,
+            line_bytes: 64,
+            sector_bytes: 64,
+            hit_latency: 74,
+            write_policy: WritePolicy::WriteBack,
+            mshr_entries: 64,
+        }
+    }
+
+    /// GPU SM L1D: 128 KB, 128 B line, 32 B sector (Table IV).
+    pub fn gpu_l1() -> Self {
+        Self {
+            capacity_bytes: 128 << 10,
+            ways: 16,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 4,
+            write_policy: WritePolicy::WriteThrough,
+            mshr_entries: 64,
+        }
+    }
+
+    /// GPU L2 slice: 6 MB total over 32 slices (Table IV).
+    pub fn gpu_l2_slice() -> Self {
+        Self {
+            capacity_bytes: (6 << 20) / 32,
+            ways: 16,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 30,
+            write_policy: WritePolicy::WriteBack,
+            mshr_entries: 64,
+        }
+    }
+
+    fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.ways as u64 * self.line_bytes as u64)
+    }
+
+    fn sectors_per_line(&self) -> u32 {
+        self.line_bytes / self.sector_bytes
+    }
+}
+
+/// One memory access presented to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes; must not cross a line boundary.
+    pub bytes: u32,
+    /// Write?
+    pub write: bool,
+}
+
+/// Result of presenting an access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheResult {
+    /// All requested sectors present; data ready at `ready_at`.
+    Hit {
+        /// Cycle the data (or write acknowledgment) is available.
+        ready_at: Cycle,
+    },
+    /// Missed, but an MSHR for the line already exists — the token was
+    /// merged; no new downstream traffic needed.
+    MergedMiss,
+    /// Missed: the owner must fetch each address in `fetches`
+    /// (sector-granularity reads) and later call `fill` for each. If
+    /// allocating evicted a dirty victim, `writeback` carries the flush.
+    Miss {
+        /// Sector-aligned addresses to fetch downstream.
+        fetches: Vec<u64>,
+        /// Dirty data to write downstream (address, bytes), if any.
+        writeback: Option<(u64, u32)>,
+    },
+    /// Write-through forward: the write updated the line (if present) and
+    /// must also be sent downstream. `ready_at` is when the store is locally
+    /// complete (posted).
+    WriteForward {
+        /// Cycle the store retires locally.
+        ready_at: Cycle,
+    },
+    /// No MSHR available; the owner must retry later.
+    Stalled,
+}
+
+/// Aggregate statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: Counter,
+    /// Demand misses that allocated a new MSHR.
+    pub misses: Counter,
+    /// Misses merged into an existing MSHR.
+    pub merged: Counter,
+    /// Write-through forwards.
+    pub write_forwards: Counter,
+    /// Dirty evictions.
+    pub writebacks: Counter,
+    /// Stalls due to MSHR exhaustion.
+    pub stalls: Counter,
+    /// Bytes served to the requester.
+    pub bytes_served: Counter,
+    /// Bytes fetched from downstream (fill traffic).
+    pub fill_bytes: Counter,
+}
+
+impl CacheStats {
+    /// Hit rate over demand accesses (hits / (hits+misses+merged)).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get() + self.merged.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits.get() as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    valid_sectors: u32,
+    dirty_sectors: u32,
+    last_used: u64,
+    valid: bool,
+}
+
+impl Line {
+    fn empty() -> Self {
+        Self {
+            tag: 0,
+            valid_sectors: 0,
+            dirty_sectors: 0,
+            last_used: 0,
+            valid: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MshrEntry<T> {
+    line_addr: u64,
+    pending_sectors: u32,
+    waiters: Vec<(T, u32)>, // (token, sectors it needs)
+}
+
+/// A sectored, set-associative, MSHR-backed cache.
+///
+/// `T` is the owner's request token type (popped from [`Self::pop_ready`]
+/// when fills complete).
+#[derive(Debug)]
+pub struct SectoredCache<T> {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    mshrs: Vec<MshrEntry<T>>,
+    ready: VecDeque<(Cycle, T)>,
+    use_clock: u64,
+    stats: CacheStats,
+}
+
+impl<T> SectoredCache<T> {
+    /// Builds a cache from `config`.
+    ///
+    /// # Panics
+    /// Panics if geometry is inconsistent (non-power-of-two line/sector
+    /// sizes, zero sets, more than 32 sectors per line).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two());
+        assert!(config.sector_bytes.is_power_of_two());
+        assert!(config.sector_bytes <= config.line_bytes);
+        assert!(config.sectors_per_line() <= 32, "sector mask is a u32");
+        let sets = config.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        let sets = (0..sets)
+            .map(|_| vec![Line::empty(); config.ways as usize])
+            .collect();
+        Self {
+            config,
+            sets,
+            mshrs: Vec::new(),
+            ready: VecDeque::new(),
+            use_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.config.line_bytes as u64 - 1)
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        ((line_addr / self.config.line_bytes as u64) % self.sets.len() as u64) as usize
+    }
+
+    /// Bitmask of sectors within the line covered by `[addr, addr+bytes)`.
+    fn sector_mask(&self, addr: u64, bytes: u32) -> u32 {
+        let line = self.line_addr(addr);
+        let first = ((addr - line) / self.config.sector_bytes as u64) as u32;
+        let last = ((addr + bytes as u64 - 1 - line) / self.config.sector_bytes as u64) as u32;
+        debug_assert!(
+            last < self.config.sectors_per_line(),
+            "access crosses a line boundary: addr {addr:#x} bytes {bytes}"
+        );
+        let mut mask = 0;
+        for s in first..=last {
+            mask |= 1 << s;
+        }
+        mask
+    }
+
+    fn find_line(&mut self, line_addr: u64) -> Option<&mut Line> {
+        let set = self.set_index(line_addr);
+        self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == line_addr)
+    }
+
+    /// Presents one access. See [`CacheResult`] for the contract.
+    pub fn access(&mut self, now: Cycle, access: Access, token: T) -> CacheResult {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let line_addr = self.line_addr(access.addr);
+        let need = self.sector_mask(access.addr, access.bytes);
+        let hit_latency = self.config.hit_latency;
+        let policy = self.config.write_policy;
+
+        if access.write {
+            match policy {
+                WritePolicy::WriteThrough => {
+                    // Update present sectors; always forward downstream.
+                    if let Some(line) = self.find_line(line_addr) {
+                        line.valid_sectors |= need;
+                        line.last_used = clock;
+                    }
+                    self.stats.write_forwards.inc();
+                    self.stats.bytes_served.add(access.bytes as u64);
+                    return CacheResult::WriteForward {
+                        ready_at: now + hit_latency,
+                    };
+                }
+                WritePolicy::WriteBack => {
+                    if let Some(line) = self.find_line(line_addr) {
+                        line.valid_sectors |= need;
+                        line.dirty_sectors |= need;
+                        line.last_used = clock;
+                        self.stats.hits.inc();
+                        self.stats.bytes_served.add(access.bytes as u64);
+                        return CacheResult::Hit {
+                            ready_at: now + hit_latency,
+                        };
+                    }
+                    // Write-allocate: fall through to miss path below, but a
+                    // full-sector write needs no fetch of its own sectors.
+                }
+            }
+        } else if let Some(line) = self.find_line(line_addr) {
+            if line.valid_sectors & need == need {
+                line.last_used = clock;
+                self.stats.hits.inc();
+                self.stats.bytes_served.add(access.bytes as u64);
+                return CacheResult::Hit {
+                    ready_at: now + hit_latency,
+                };
+            }
+            // Present line but missing sectors: sector miss.
+        }
+
+        // Miss path. Merge into an existing MSHR if one covers the line.
+        if let Some(entry) = self.mshrs.iter_mut().find(|e| e.line_addr == line_addr) {
+            let missing_new = need & !entry.pending_sectors;
+            if missing_new == 0 {
+                entry.waiters.push((token, need));
+                self.stats.merged.inc();
+                return CacheResult::MergedMiss;
+            }
+            // Needs sectors not already being fetched: extend the entry.
+            entry.pending_sectors |= missing_new;
+            entry.waiters.push((token, need));
+            self.stats.misses.inc();
+            let fetches = self.sector_addrs(line_addr, missing_new);
+            self.stats
+                .fill_bytes
+                .add(fetches.len() as u64 * self.config.sector_bytes as u64);
+            return CacheResult::Miss {
+                fetches,
+                writeback: None,
+            };
+        }
+
+        if self.mshrs.len() >= self.config.mshr_entries {
+            self.stats.stalls.inc();
+            return CacheResult::Stalled;
+        }
+
+        // Allocate a line (victimize LRU).
+        let writeback = self.allocate(line_addr, clock);
+
+        // For a write-allocate write, the written sectors need no fetch.
+        let fetch_mask = if access.write { 0 } else { need };
+        let line = self
+            .find_line(line_addr)
+            .expect("line allocated just above");
+        if access.write {
+            line.valid_sectors |= need;
+            line.dirty_sectors |= need;
+        }
+
+        self.stats.misses.inc();
+        self.stats.bytes_served.add(access.bytes as u64);
+
+        if fetch_mask == 0 {
+            // Write-allocate without fetch completes locally.
+            if writeback.is_some() {
+                self.stats.writebacks.inc();
+            }
+            self.ready.push_back((now + hit_latency, token));
+            return CacheResult::Miss {
+                fetches: Vec::new(),
+                writeback,
+            };
+        }
+
+        self.mshrs.push(MshrEntry {
+            line_addr,
+            pending_sectors: fetch_mask,
+            waiters: vec![(token, need)],
+        });
+        if writeback.is_some() {
+            self.stats.writebacks.inc();
+        }
+        let fetches = self.sector_addrs(line_addr, fetch_mask);
+        self.stats
+            .fill_bytes
+            .add(fetches.len() as u64 * self.config.sector_bytes as u64);
+        CacheResult::Miss { fetches, writeback }
+    }
+
+    fn sector_addrs(&self, line_addr: u64, mask: u32) -> Vec<u64> {
+        (0..self.config.sectors_per_line())
+            .filter(|s| mask & (1 << s) != 0)
+            .map(|s| line_addr + s as u64 * self.config.sector_bytes as u64)
+            .collect()
+    }
+
+    /// Allocates a line for `line_addr`, returning a dirty-victim writeback
+    /// (addr, bytes) if one was evicted.
+    fn allocate(&mut self, line_addr: u64, clock: u64) -> Option<(u64, u32)> {
+        let set = self.set_index(line_addr);
+        let ways = &mut self.sets[set];
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_used } else { 0 })
+            .expect("ways is non-empty");
+        let wb = if victim.valid && victim.dirty_sectors != 0 {
+            let dirty = victim.dirty_sectors.count_ones() * self.config.sector_bytes;
+            Some((victim.tag, dirty))
+        } else {
+            None
+        };
+        victim.tag = line_addr;
+        victim.valid = true;
+        victim.valid_sectors = 0;
+        victim.dirty_sectors = 0;
+        victim.last_used = clock;
+        wb
+    }
+
+    /// Delivers one fetched sector; completed waiters become poppable.
+    pub fn fill(&mut self, now: Cycle, sector_addr: u64) {
+        let line_addr = self.line_addr(sector_addr);
+        let sector_bit = {
+            let off = (sector_addr - line_addr) / self.config.sector_bytes as u64;
+            1u32 << off
+        };
+        if let Some(line) = self.find_line(line_addr) {
+            line.valid_sectors |= sector_bit;
+        }
+        let Some(pos) = self.mshrs.iter().position(|e| e.line_addr == line_addr) else {
+            return; // line was evicted while the fill was in flight
+        };
+        self.mshrs[pos].pending_sectors &= !sector_bit;
+        if self.mshrs[pos].pending_sectors == 0 {
+            let entry = self.mshrs.swap_remove(pos);
+            let lat = self.config.hit_latency;
+            for (token, _need) in entry.waiters {
+                self.ready.push_back((now + lat, token));
+            }
+        }
+    }
+
+    /// Pops one token whose data became ready at or before `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        match self.ready.front() {
+            Some((at, _)) if *at <= now => self.ready.pop_front().map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Earliest cycle a parked token becomes ready, for fast-forwarding.
+    pub fn next_ready_cycle(&self) -> Option<Cycle> {
+        self.ready.front().map(|(at, _)| *at)
+    }
+
+    /// Invalidates the whole cache (e.g. instruction caches on kernel
+    /// unregistration, §III-F). Dirty data is discarded; callers flush first
+    /// when that matters.
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::empty();
+            }
+        }
+    }
+
+    /// Number of in-use MSHR entries.
+    pub fn mshr_in_use(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> SectoredCache<u32> {
+        SectoredCache::new(CacheConfig::ndp_l1d())
+    }
+
+    fn rd(addr: u64, bytes: u32) -> Access {
+        Access {
+            addr,
+            bytes,
+            write: false,
+        }
+    }
+
+    fn wr(addr: u64, bytes: u32) -> Access {
+        Access {
+            addr,
+            bytes,
+            write: true,
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut c = l1();
+        let r = c.access(0, rd(0x1000, 32), 1);
+        let CacheResult::Miss { fetches, writeback } = r else {
+            panic!("expected miss, got {r:?}");
+        };
+        assert_eq!(fetches, vec![0x1000]);
+        assert!(writeback.is_none());
+        c.fill(10, 0x1000);
+        assert_eq!(c.pop_ready(10 + 4), Some(1));
+        // Same sector now hits.
+        assert!(matches!(
+            c.access(20, rd(0x1000, 32), 2),
+            CacheResult::Hit { ready_at: 24 }
+        ));
+    }
+
+    #[test]
+    fn only_requested_sectors_fetched() {
+        let mut c = l1();
+        // 64-byte read covering sectors 1 and 2 of line 0x1000.
+        let r = c.access(0, rd(0x1020, 64), 1);
+        let CacheResult::Miss { fetches, .. } = r else {
+            panic!()
+        };
+        assert_eq!(fetches, vec![0x1020, 0x1040]);
+    }
+
+    #[test]
+    fn second_miss_to_same_line_merges() {
+        let mut c = l1();
+        assert!(matches!(
+            c.access(0, rd(0x2000, 32), 1),
+            CacheResult::Miss { .. }
+        ));
+        assert!(matches!(
+            c.access(1, rd(0x2000, 32), 2),
+            CacheResult::MergedMiss
+        ));
+        c.fill(5, 0x2000);
+        assert_eq!(c.pop_ready(9), Some(1));
+        assert_eq!(c.pop_ready(9), Some(2));
+        assert_eq!(c.stats().merged.get(), 1);
+    }
+
+    #[test]
+    fn sector_miss_on_present_line_fetches_only_new_sector() {
+        let mut c = l1();
+        c.access(0, rd(0x3000, 32), 1);
+        c.fill(2, 0x3000);
+        assert_eq!(c.pop_ready(6), Some(1));
+        let r = c.access(10, rd(0x3020, 32), 2);
+        let CacheResult::Miss { fetches, .. } = r else {
+            panic!("expected sector miss, got {r:?}")
+        };
+        assert_eq!(fetches, vec![0x3020]);
+    }
+
+    #[test]
+    fn write_through_forwards_and_updates() {
+        let mut c = l1();
+        let r = c.access(0, wr(0x4000, 32), 1);
+        assert!(matches!(r, CacheResult::WriteForward { ready_at: 4 }));
+        // The write validated the sector only if the line was present; a
+        // subsequent read of the same sector should still miss (no allocate).
+        assert!(matches!(
+            c.access(1, rd(0x4000, 32), 2),
+            CacheResult::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn write_back_allocates_and_flushes_dirty_victim() {
+        let mut c = SectoredCache::new(CacheConfig {
+            capacity_bytes: 2 * 128, // 1 set, 2 ways
+            ways: 2,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 1,
+            write_policy: WritePolicy::WriteBack,
+            mshr_entries: 8,
+        });
+        // Write-allocate a full sector: no fetch needed.
+        let r = c.access(0, wr(0x0, 32), 1);
+        let CacheResult::Miss { fetches, writeback } = r else {
+            panic!("{r:?}")
+        };
+        assert!(fetches.is_empty());
+        assert!(writeback.is_none());
+        assert_eq!(c.pop_ready(1), Some(1));
+        // Fill both ways, then a third line evicts the dirty LRU.
+        c.access(1, wr(0x1000, 32), 2);
+        c.pop_ready(100);
+        let r = c.access(2, wr(0x2000, 32), 3);
+        let CacheResult::Miss { writeback, .. } = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(writeback, Some((0x0, 32)));
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls() {
+        let mut c = SectoredCache::new(CacheConfig {
+            mshr_entries: 2,
+            ..CacheConfig::ndp_l1d()
+        });
+        assert!(matches!(
+            c.access(0, rd(0x0, 32), 1),
+            CacheResult::Miss { .. }
+        ));
+        assert!(matches!(
+            c.access(0, rd(0x1000, 32), 2),
+            CacheResult::Miss { .. }
+        ));
+        assert!(matches!(c.access(0, rd(0x2000, 32), 3), CacheResult::Stalled));
+        assert_eq!(c.stats().stalls.get(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = SectoredCache::new(CacheConfig {
+            capacity_bytes: 2 * 128,
+            ways: 2,
+            line_bytes: 128,
+            sector_bytes: 32,
+            hit_latency: 1,
+            write_policy: WritePolicy::WriteBack,
+            mshr_entries: 8,
+        });
+        // Load lines A and B.
+        for (i, a) in [(1u32, 0x0u64), (2, 0x1000)] {
+            c.access(0, rd(a, 32), i);
+            c.fill(0, a);
+            c.pop_ready(10);
+        }
+        // Touch A so B becomes LRU.
+        assert!(matches!(c.access(20, rd(0x0, 32), 3), CacheResult::Hit { .. }));
+        // Allocate C; B must be evicted, so B now misses while A still hits.
+        c.access(21, rd(0x2000, 32), 4);
+        c.fill(22, 0x2000);
+        c.pop_ready(30);
+        assert!(matches!(c.access(31, rd(0x0, 32), 5), CacheResult::Hit { .. }));
+        assert!(matches!(
+            c.access(32, rd(0x1000, 32), 6),
+            CacheResult::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn invalidate_all_clears_contents() {
+        let mut c = l1();
+        c.access(0, rd(0x0, 32), 1);
+        c.fill(1, 0x0);
+        c.pop_ready(10);
+        c.invalidate_all();
+        assert!(matches!(c.access(20, rd(0x0, 32), 2), CacheResult::Miss { .. }));
+    }
+
+    #[test]
+    fn hit_rate_accounts_all_outcomes() {
+        let mut c = l1();
+        c.access(0, rd(0x0, 32), 1); // miss
+        c.fill(1, 0x0);
+        c.pop_ready(10);
+        c.access(11, rd(0x0, 32), 2); // hit
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

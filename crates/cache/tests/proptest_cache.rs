@@ -1,0 +1,84 @@
+//! Property tests: the sectored cache never strands a request token and
+//! fetches only what was asked for.
+
+use m2ndp_cache::{Access, CacheConfig, CacheResult, SectoredCache};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every read access either hits or eventually pops out after its fills
+    /// are delivered: no token is ever lost.
+    #[test]
+    fn no_token_stranded(addrs in prop::collection::vec(0u64..(1 << 16), 1..100)) {
+        let mut cache: SectoredCache<usize> = SectoredCache::new(CacheConfig {
+            mshr_entries: 256,
+            ..CacheConfig::ndp_l1d()
+        });
+        let mut owed = 0usize;
+        let mut now = 0u64;
+        for (i, a) in addrs.iter().enumerate() {
+            let addr = a & !31;
+            match cache.access(now, Access { addr, bytes: 32, write: false }, i) {
+                CacheResult::Hit { .. } => {}
+                CacheResult::MergedMiss => owed += 1,
+                CacheResult::Miss { fetches, .. } => {
+                    owed += 1;
+                    for f in fetches {
+                        cache.fill(now, f);
+                    }
+                }
+                CacheResult::Stalled => prop_assert!(false, "MSHRs sized to avoid stalls"),
+                CacheResult::WriteForward { .. } => prop_assert!(false, "reads never forward"),
+            }
+            now += 1;
+        }
+        // Drain far in the future: everything owed must pop exactly once.
+        let mut popped = 0;
+        while cache.pop_ready(now + 10_000).is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, owed);
+        prop_assert_eq!(cache.mshr_in_use(), 0);
+    }
+
+    /// Sector fetches are always within the accessed line and cover the
+    /// requested bytes.
+    #[test]
+    fn fetches_cover_request(addr in 0u64..(1 << 20), len in 1u32..=32) {
+        let mut cache: SectoredCache<u8> = SectoredCache::new(CacheConfig::ndp_l1d());
+        let addr = (addr & !31).min((1 << 20) - 32);
+        if let CacheResult::Miss { fetches, .. } =
+            cache.access(0, Access { addr, bytes: len, write: false }, 0)
+        {
+            prop_assert!(!fetches.is_empty());
+            let line = addr & !127;
+            for f in &fetches {
+                prop_assert!(*f >= line && *f < line + 128, "fetch {f:#x} outside line");
+            }
+            // The accessed sector itself must be fetched.
+            prop_assert!(fetches.contains(&(addr & !31)));
+        }
+    }
+
+    /// Write-back caches never report a writeback for lines never written.
+    #[test]
+    fn clean_lines_never_write_back(addrs in prop::collection::vec(0u64..(1 << 14), 1..200)) {
+        let mut cache: SectoredCache<usize> = SectoredCache::new(CacheConfig {
+            capacity_bytes: 4 << 10, // small: force evictions
+            ..CacheConfig::memside_l2_slice()
+        });
+        for (i, a) in addrs.iter().enumerate() {
+            let addr = a & !31;
+            if let CacheResult::Miss { fetches, writeback } =
+                cache.access(i as u64, Access { addr, bytes: 32, write: false }, i)
+            {
+                prop_assert!(writeback.is_none(), "read-only stream wrote back");
+                for f in fetches {
+                    cache.fill(i as u64, f);
+                }
+                while cache.pop_ready(i as u64 + 100).is_some() {}
+            }
+        }
+    }
+}

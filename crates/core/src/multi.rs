@@ -1,0 +1,157 @@
+//! Scaling across multiple CXL-M²NDP devices (§III-I) and the
+//! M²NDP-in-switch configuration (§III-J).
+//!
+//! As in the paper's methodology, data is partitioned across devices by
+//! software (model parallelism for DLRM/OPT, §IV-D) and one kernel is
+//! launched per device; runtime is the slowest device plus any cross-device
+//! combining step (the all-reduce of tensor-parallel transformer layers),
+//! which crosses the switch via direct P2P.
+
+use m2ndp_cxl::{CxlSwitch, SwitchConfig};
+use m2ndp_sim::{Cycle, Frequency};
+
+/// Cost model for one multi-device run.
+#[derive(Debug, Clone)]
+pub struct MultiDeviceRun {
+    /// Per-device kernel completion cycles (each device ran 1/N of the
+    /// work).
+    pub per_device_cycles: Vec<Cycle>,
+    /// Bytes each device must exchange in the combining step (0 when the
+    /// workload has no cross-device reduction, e.g. DLRM SLS with disjoint
+    /// outputs).
+    pub allreduce_bytes_per_device: u64,
+    /// Switch configuration for P2P.
+    pub switch: SwitchConfig,
+    /// Device clock for converting switch latencies.
+    pub clock: Frequency,
+}
+
+impl MultiDeviceRun {
+    /// Ring all-reduce across `n` devices through the switch: 2(n-1) steps,
+    /// each moving `bytes/n` per device over its switch port.
+    pub fn allreduce_cycles(&self) -> Cycle {
+        let n = self.per_device_cycles.len() as u64;
+        if n <= 1 || self.allreduce_bytes_per_device == 0 {
+            return 0;
+        }
+        let mut sw = CxlSwitch::new(self.switch, self.clock);
+        let chunk = (self.allreduce_bytes_per_device / n).max(1);
+        let steps = 2 * (n - 1);
+        let mut t = 0;
+        for step in 0..steps {
+            // Each device forwards its chunk to the next ring neighbour;
+            // ports operate concurrently, so one step costs one chunk
+            // traversal of the busiest port.
+            let src = (step % n) as usize % sw.device_ports();
+            let dst = (src + 1) % sw.device_ports();
+            t = sw.peer_to_peer(t, src, dst, chunk.min(u32::MAX as u64) as u32);
+        }
+        t
+    }
+
+    /// Total runtime: slowest device + combining step.
+    pub fn total_cycles(&self) -> Cycle {
+        let compute = self.per_device_cycles.iter().copied().max().unwrap_or(0);
+        compute + self.allreduce_cycles()
+    }
+
+    /// Speedup over a single-device run taking `single_device_cycles`.
+    pub fn speedup_over(&self, single_device_cycles: Cycle) -> f64 {
+        single_device_cycles as f64 / self.total_cycles() as f64
+    }
+}
+
+/// The M²NDP-in-switch configuration (Fig. 9): NDP units inside the switch
+/// process data pulled from `n` passive CXL memories. Aggregate pull
+/// bandwidth scales with the number of populated switch ports until the NDP
+/// throughput itself saturates.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchNdpModel {
+    /// Per-port CXL bandwidth (bytes/s).
+    pub port_bw: f64,
+    /// NDP units' aggregate processing bandwidth demand (bytes/s) when
+    /// unconstrained — i.e. the single-device internal-DRAM throughput.
+    pub ndp_bw: f64,
+}
+
+impl SwitchNdpModel {
+    /// Achieved throughput with `memories` passive CXL memories attached.
+    pub fn throughput(&self, memories: u32) -> f64 {
+        (self.port_bw * memories as f64).min(self.ndp_bw)
+    }
+
+    /// Speedup relative to one memory.
+    pub fn speedup(&self, memories: u32) -> f64 {
+        self.throughput(memories) / self.throughput(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_allreduce_means_max_of_devices() {
+        let run = MultiDeviceRun {
+            per_device_cycles: vec![100, 120, 90, 110],
+            allreduce_bytes_per_device: 0,
+            switch: SwitchConfig::default(),
+            clock: Frequency::ghz(2.0),
+        };
+        assert_eq!(run.total_cycles(), 120);
+    }
+
+    #[test]
+    fn allreduce_adds_cost_and_grows_with_devices() {
+        let mk = |n: usize| MultiDeviceRun {
+            per_device_cycles: vec![1000; n],
+            allreduce_bytes_per_device: 1 << 20,
+            switch: SwitchConfig::default(),
+            clock: Frequency::ghz(2.0),
+        };
+        let two = mk(2).allreduce_cycles();
+        let eight = mk(8).allreduce_cycles();
+        assert!(two > 0);
+        assert!(eight > 0);
+    }
+
+    #[test]
+    fn near_linear_scaling_when_compute_dominates() {
+        // 8 devices each with 1/8 of the work; tiny all-reduce.
+        let single = 80_000u64;
+        let run = MultiDeviceRun {
+            per_device_cycles: vec![single / 8; 8],
+            allreduce_bytes_per_device: 4096,
+            switch: SwitchConfig::default(),
+            clock: Frequency::ghz(2.0),
+        };
+        let s = run.speedup_over(single);
+        assert!(s > 6.0 && s <= 8.0, "speedup {s}");
+    }
+
+    #[test]
+    fn small_model_scales_worse() {
+        // OPT-2.7B effect: smaller per-device compute, same-ish allreduce.
+        let mk = |per_dev: u64| MultiDeviceRun {
+            per_device_cycles: vec![per_dev; 8],
+            allreduce_bytes_per_device: 8 << 20,
+            switch: SwitchConfig::default(),
+            clock: Frequency::ghz(2.0),
+        };
+        let big = mk(1_000_000).speedup_over(8_000_000);
+        let small = mk(50_000).speedup_over(400_000);
+        assert!(small < big, "small model {small} should scale worse than {big}");
+    }
+
+    #[test]
+    fn switch_ndp_saturates_at_ndp_bandwidth() {
+        let m = SwitchNdpModel {
+            port_bw: 64e9,
+            ndp_bw: 409.6e9,
+        };
+        assert!((m.speedup(1) - 1.0).abs() < 1e-9);
+        assert!(m.speedup(4) > 3.9);
+        // 8 ports would be 512 GB/s but NDP caps at 409.6 → 6.4x.
+        assert!((m.speedup(8) - 6.4).abs() < 0.01);
+    }
+}

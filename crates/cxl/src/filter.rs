@@ -1,0 +1,202 @@
+//! The M²func packet filter (§III-B).
+//!
+//! A small table at the CXL memory's ingress port holds one
+//! {64-bit base, 64-bit bound, 16-bit ASID} entry per host process — 18 B
+//! each, so 1024 processes cost 18 KB. Every incoming CXL.mem packet is
+//! checked: if its address falls inside a registered M²func region, the
+//! packet is interpreted as an NDP management function call (the offset from
+//! the region base selects the function, Table II); otherwise it proceeds as
+//! a normal memory read/write.
+//!
+//! Entries are installed through CXL.io by the M²NDP driver when a process
+//! initializes (a privileged, one-time operation); afterwards CXL.io is no
+//! longer needed.
+
+/// Address-space identifier of a host process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asid(pub u16);
+
+/// One packet-filter entry: the M²func region of one host process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterEntry {
+    /// Inclusive base physical address of the region.
+    pub base: u64,
+    /// Exclusive bound physical address.
+    pub bound: u64,
+    /// Owning process.
+    pub asid: Asid,
+}
+
+impl FilterEntry {
+    /// Storage footprint in bytes (64-bit base + 64-bit bound + 16-bit ASID
+    /// = 18 B, §III-B).
+    pub const STORAGE_BYTES: usize = 18;
+}
+
+/// A match result: which process's region was hit and at what offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterMatch {
+    /// The owning process.
+    pub asid: Asid,
+    /// Byte offset of the access from the region base.
+    pub offset: u64,
+}
+
+/// The ingress packet filter.
+#[derive(Debug, Clone, Default)]
+pub struct PacketFilter {
+    entries: Vec<FilterEntry>,
+}
+
+impl PacketFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a region (privileged; via CXL.io at init time).
+    ///
+    /// # Errors
+    /// Rejects empty regions and regions overlapping an existing entry.
+    pub fn insert(&mut self, entry: FilterEntry) -> Result<(), FilterError> {
+        if entry.base >= entry.bound {
+            return Err(FilterError::EmptyRegion);
+        }
+        for e in &self.entries {
+            if entry.base < e.bound && e.base < entry.bound {
+                return Err(FilterError::Overlap);
+            }
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Removes the region owned by `asid`; returns whether one existed.
+    pub fn remove(&mut self, asid: Asid) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.asid != asid);
+        self.entries.len() != before
+    }
+
+    /// Classifies an address: `Some` when it falls in a registered M²func
+    /// region.
+    pub fn matches(&self, addr: u64) -> Option<FilterMatch> {
+        self.entries
+            .iter()
+            .find(|e| (e.base..e.bound).contains(&addr))
+            .map(|e| FilterMatch {
+                asid: e.asid,
+                offset: addr - e.base,
+            })
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total SRAM footprint of the filter in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len() * FilterEntry::STORAGE_BYTES
+    }
+}
+
+/// Errors installing filter entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterError {
+    /// base >= bound.
+    EmptyRegion,
+    /// The region overlaps an existing entry.
+    Overlap,
+}
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterError::EmptyRegion => write!(f, "filter region is empty"),
+            FilterError::Overlap => write!(f, "filter region overlaps an existing entry"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(base: u64, bound: u64, asid: u16) -> FilterEntry {
+        FilterEntry {
+            base,
+            bound,
+            asid: Asid(asid),
+        }
+    }
+
+    #[test]
+    fn match_inside_region_reports_offset() {
+        let mut f = PacketFilter::new();
+        f.insert(entry(0x10000, 0x20000, 0x07)).unwrap();
+        let m = f.matches(0x10040).unwrap();
+        assert_eq!(m.asid, Asid(0x07));
+        assert_eq!(m.offset, 0x40);
+    }
+
+    #[test]
+    fn no_match_outside_region() {
+        let mut f = PacketFilter::new();
+        f.insert(entry(0x10000, 0x20000, 1)).unwrap();
+        assert!(f.matches(0xFFFF).is_none());
+        assert!(f.matches(0x20000).is_none()); // bound is exclusive
+        assert!(f.matches(0x10000).is_some()); // base is inclusive
+    }
+
+    #[test]
+    fn multiple_processes_coexist() {
+        let mut f = PacketFilter::new();
+        f.insert(entry(0x10000, 0x20000, 0x07)).unwrap();
+        f.insert(entry(0x20000, 0x30000, 0x0A)).unwrap();
+        assert_eq!(f.matches(0x10000).unwrap().asid, Asid(0x07));
+        assert_eq!(f.matches(0x2FFFF).unwrap().asid, Asid(0x0A));
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut f = PacketFilter::new();
+        f.insert(entry(0x10000, 0x20000, 1)).unwrap();
+        assert_eq!(f.insert(entry(0x1F000, 0x21000, 2)), Err(FilterError::Overlap));
+        assert_eq!(f.insert(entry(0x0, 0x10001, 2)), Err(FilterError::Overlap));
+    }
+
+    #[test]
+    fn empty_region_rejected() {
+        let mut f = PacketFilter::new();
+        assert_eq!(f.insert(entry(0x10, 0x10, 1)), Err(FilterError::EmptyRegion));
+    }
+
+    #[test]
+    fn remove_frees_the_range() {
+        let mut f = PacketFilter::new();
+        f.insert(entry(0x10000, 0x20000, 1)).unwrap();
+        assert!(f.remove(Asid(1)));
+        assert!(!f.remove(Asid(1)));
+        assert!(f.matches(0x10000).is_none());
+        f.insert(entry(0x10000, 0x20000, 2)).unwrap();
+    }
+
+    #[test]
+    fn storage_matches_paper_claim() {
+        // "18 KB for 1024 processes" (§III-B).
+        let mut f = PacketFilter::new();
+        for i in 0..1024u64 {
+            f.insert(entry(i << 20, (i << 20) + 0x10000, i as u16))
+                .unwrap();
+        }
+        assert_eq!(f.storage_bytes(), 18 * 1024);
+    }
+}

@@ -1,0 +1,215 @@
+//! The CXL.mem link: per-direction bandwidth and one-way latency.
+//!
+//! Table IV: "64 GB/s (in each dir.) from CXL 3.0 (PCIe 6.0) x8, 256 B flit;
+//! load-to-use latency 150 ns / 300 ns / 600 ns". Following Fig. 5 the
+//! one-way CXL.mem latency `x` is half the load-to-use figure (x = 75 ns for
+//! the 150 ns default); the sensitivity studies (Fig. 13a) scale it 2–4×.
+
+use m2ndp_sim::{BandwidthGate, Cycle, DelayPipe, Frequency, TrafficStats};
+
+use crate::packet::CxlMemPacket;
+
+/// Link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CxlLinkConfig {
+    /// One-way latency in nanoseconds (75 ns default; Fig. 5's `x`).
+    pub one_way_ns: f64,
+    /// Bandwidth per direction in bytes/second (64 GB/s).
+    pub bw_per_dir_bytes_per_sec: f64,
+}
+
+impl CxlLinkConfig {
+    /// The default CXL 3.0 ×8 link of Table IV with 150 ns load-to-use.
+    pub fn default_150ns() -> Self {
+        Self {
+            one_way_ns: 75.0,
+            bw_per_dir_bytes_per_sec: 64e9,
+        }
+    }
+
+    /// Scales load-to-use by `factor` (Fig. 13a's 2xLtU / 4xLtU).
+    pub fn with_ltu_scale(mut self, factor: f64) -> Self {
+        self.one_way_ns *= factor;
+        self
+    }
+
+    /// The host-observed load-to-use latency this link implies.
+    pub fn load_to_use_ns(&self) -> f64 {
+        2.0 * self.one_way_ns
+    }
+}
+
+impl Default for CxlLinkConfig {
+    fn default() -> Self {
+        Self::default_150ns()
+    }
+}
+
+/// One direction of the link: serializing bandwidth gate + latency wire.
+#[derive(Debug)]
+struct Direction {
+    gate: BandwidthGate,
+    wire: DelayPipe<CxlMemPacket>,
+    latency: Cycle,
+    stats: TrafficStats,
+}
+
+impl Direction {
+    fn send(&mut self, now: Cycle, pkt: CxlMemPacket) -> Cycle {
+        let injected = self.gate.send(now, pkt.wire_bytes() as u64);
+        let arrival = injected + self.latency;
+        self.wire.push_at(arrival, pkt);
+        self.stats.record(pkt.wire_bytes() as u64, pkt.req.write);
+        arrival
+    }
+}
+
+/// A full-duplex CXL.mem link in a single clock domain.
+///
+/// The "m2s" direction carries host→device traffic, "s2m" device→host.
+#[derive(Debug)]
+pub struct CxlLink {
+    m2s: Direction,
+    s2m: Direction,
+    config: CxlLinkConfig,
+}
+
+impl CxlLink {
+    /// Builds the link in the `clock` domain.
+    pub fn new(config: CxlLinkConfig, clock: Frequency) -> Self {
+        let latency = clock.cycles_from_ns(config.one_way_ns);
+        let bpc = clock.bytes_per_cycle(config.bw_per_dir_bytes_per_sec);
+        let dir = || Direction {
+            gate: BandwidthGate::new(bpc),
+            wire: DelayPipe::new(),
+            latency,
+            stats: TrafficStats::default(),
+        };
+        Self {
+            m2s: dir(),
+            s2m: dir(),
+            config,
+        }
+    }
+
+    /// Sends a host→device packet; returns its arrival cycle.
+    pub fn send_m2s(&mut self, now: Cycle, pkt: CxlMemPacket) -> Cycle {
+        self.m2s.send(now, pkt)
+    }
+
+    /// Sends a device→host packet; returns its arrival cycle.
+    pub fn send_s2m(&mut self, now: Cycle, pkt: CxlMemPacket) -> Cycle {
+        self.s2m.send(now, pkt)
+    }
+
+    /// Pops a host→device packet that has arrived by `now`.
+    pub fn recv_m2s(&mut self, now: Cycle) -> Option<CxlMemPacket> {
+        self.m2s.wire.pop_ready(now)
+    }
+
+    /// Pops a device→host packet that has arrived by `now`.
+    pub fn recv_s2m(&mut self, now: Cycle) -> Option<CxlMemPacket> {
+        self.s2m.wire.pop_ready(now)
+    }
+
+    /// One-way latency in this clock domain's cycles.
+    pub fn one_way_cycles(&self) -> Cycle {
+        self.m2s.latency
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &CxlLinkConfig {
+        &self.config
+    }
+
+    /// Wire bytes moved host→device.
+    pub fn m2s_bytes(&self) -> u64 {
+        self.m2s.stats.total_bytes()
+    }
+
+    /// Wire bytes moved device→host.
+    pub fn s2m_bytes(&self) -> u64 {
+        self.s2m.stats.total_bytes()
+    }
+
+    /// Earliest pending arrival cycle in either direction.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        match (
+            self.m2s.wire.next_ready_cycle(),
+            self.s2m.wire.next_ready_cycle(),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Whether both directions are empty.
+    pub fn is_idle(&self) -> bool {
+        self.m2s.wire.is_empty() && self.s2m.wire.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2ndp_mem::{MemReq, ReqId, ReqSource};
+
+    fn link() -> CxlLink {
+        CxlLink::new(CxlLinkConfig::default_150ns(), Frequency::ghz(2.0))
+    }
+
+    fn read_pkt(id: u64) -> CxlMemPacket {
+        CxlMemPacket::read(MemReq::read(ReqId(id), 0x1000, 64, ReqSource::Host))
+    }
+
+    #[test]
+    fn one_way_latency_is_75ns() {
+        let l = link();
+        assert_eq!(l.one_way_cycles(), 150); // 75 ns at 2 GHz
+        assert!((l.config().load_to_use_ns() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packet_arrives_after_latency() {
+        let mut l = link();
+        let arrival = l.send_m2s(0, read_pkt(1));
+        assert!(arrival >= 150);
+        assert!(l.recv_m2s(arrival - 1).is_none());
+        assert!(l.recv_m2s(arrival).is_some());
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut l = link();
+        l.send_m2s(0, read_pkt(1));
+        assert!(l.recv_s2m(10_000).is_none());
+        assert!(l.recv_m2s(10_000).is_some());
+    }
+
+    #[test]
+    fn bandwidth_serializes_burst() {
+        let mut l = link();
+        // 64 GB/s at 2 GHz = 32 B/cycle; an 80 B DRS occupies 2.5 cycles.
+        let mut last = 0;
+        for i in 0..100 {
+            let pkt = CxlMemPacket::data_response(MemReq::read(
+                ReqId(i),
+                0,
+                64,
+                ReqSource::Host,
+            ));
+            last = l.send_s2m(0, pkt);
+        }
+        // 100 * 80 B / 32 B-per-cycle = 250 cycles of serialization + wire.
+        assert!(last >= 250 + 150, "burst finished too early: {last}");
+        assert_eq!(l.s2m_bytes(), 8000);
+    }
+
+    #[test]
+    fn ltu_scaling() {
+        let cfg = CxlLinkConfig::default_150ns().with_ltu_scale(4.0);
+        assert!((cfg.load_to_use_ns() - 600.0).abs() < 1e-9);
+        let l = CxlLink::new(cfg, Frequency::ghz(2.0));
+        assert_eq!(l.one_way_cycles(), 600);
+    }
+}

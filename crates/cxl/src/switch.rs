@@ -1,0 +1,201 @@
+//! CXL switch with direct peer-to-peer access and the M²NDP-in-switch
+//! configuration.
+//!
+//! CXL 3.0 supports direct P2P: a CXL device can reach the HDM of another
+//! device through the switch (§II-B), which M²NDP uses to scale NDP across
+//! multiple memories (§III-I). A switch adds one store-and-forward hop in
+//! each direction (CXL memory latency "can approach 300 ns" through a
+//! switch [93], i.e. roughly doubling the port latency). §III-J integrates
+//! the NDP logic *into* the switch so NDP throughput can scale independently
+//! of capacity, processing data held in passive third-party memories
+//! (Fig. 14b).
+
+use m2ndp_sim::{BandwidthGate, Counter, Cycle, Frequency};
+
+/// Switch parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchConfig {
+    /// Number of downstream device ports.
+    pub device_ports: usize,
+    /// Per-port, per-direction bandwidth in bytes/second (a CXL 3.0 ×8
+    /// port, 64 GB/s).
+    pub port_bw_bytes_per_sec: f64,
+    /// Added one-way latency for traversing the switch, nanoseconds
+    /// (~70 ns: a second protocol-stack crossing, per Fig. 2 / [93]).
+    pub traversal_ns: f64,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        Self {
+            device_ports: 8,
+            port_bw_bytes_per_sec: 64e9,
+            traversal_ns: 70.0,
+        }
+    }
+}
+
+/// Routing decision for an address across the devices behind a switch.
+///
+/// Each 2 MB page lives wholly in one CXL memory (§IV-A assumes page-
+/// granularity placement as in NUMA/multi-GPU systems).
+#[derive(Debug, Clone)]
+pub struct HdmRouter {
+    device_spans: Vec<(u64, u64)>, // (base, bound) per device
+}
+
+impl HdmRouter {
+    /// Splits `total_bytes` of HDM evenly across `devices`, starting at
+    /// `base`.
+    pub fn even(base: u64, total_bytes: u64, devices: usize) -> Self {
+        assert!(devices > 0);
+        let per = total_bytes / devices as u64;
+        let device_spans = (0..devices as u64)
+            .map(|d| (base + d * per, base + (d + 1) * per))
+            .collect();
+        Self { device_spans }
+    }
+
+    /// The device an address routes to, if any.
+    pub fn device_of(&self, addr: u64) -> Option<usize> {
+        self.device_spans
+            .iter()
+            .position(|(b, e)| (*b..*e).contains(&addr))
+    }
+
+    /// The address span of one device.
+    pub fn span(&self, device: usize) -> (u64, u64) {
+        self.device_spans[device]
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.device_spans.len()
+    }
+}
+
+/// The switch fabric: per-port bandwidth gates and traversal latency.
+#[derive(Debug)]
+pub struct CxlSwitch {
+    /// Per-device-port gates, one per direction: (to_device, from_device).
+    ports: Vec<(BandwidthGate, BandwidthGate)>,
+    /// Host (upstream) port gates: (host_to_switch, switch_to_host).
+    host_port: (BandwidthGate, BandwidthGate),
+    traversal: Cycle,
+    /// P2P transfers forwarded.
+    pub p2p_transfers: Counter,
+    /// Host transfers forwarded.
+    pub host_transfers: Counter,
+}
+
+impl CxlSwitch {
+    /// Builds a switch in the `clock` domain.
+    pub fn new(config: SwitchConfig, clock: Frequency) -> Self {
+        let bpc = clock.bytes_per_cycle(config.port_bw_bytes_per_sec);
+        Self {
+            ports: (0..config.device_ports)
+                .map(|_| (BandwidthGate::new(bpc), BandwidthGate::new(bpc)))
+                .collect(),
+            host_port: (BandwidthGate::new(bpc), BandwidthGate::new(bpc)),
+            traversal: clock.cycles_from_ns(config.traversal_ns),
+            p2p_transfers: Counter::new(),
+            host_transfers: Counter::new(),
+        }
+    }
+
+    /// Forwards `bytes` from the host port to device port `dst`; returns the
+    /// delivery cycle.
+    pub fn host_to_device(&mut self, now: Cycle, dst: usize, bytes: u32) -> Cycle {
+        let t = self.host_port.0.send(now, bytes as u64);
+        let t = self.ports[dst].0.send(t, bytes as u64);
+        self.host_transfers.inc();
+        t + self.traversal
+    }
+
+    /// Forwards `bytes` from device port `src` to the host; returns the
+    /// delivery cycle.
+    pub fn device_to_host(&mut self, now: Cycle, src: usize, bytes: u32) -> Cycle {
+        let t = self.ports[src].1.send(now, bytes as u64);
+        let t = self.host_port.1.send(t, bytes as u64);
+        self.host_transfers.inc();
+        t + self.traversal
+    }
+
+    /// Direct P2P: forwards `bytes` from device `src` to device `dst`
+    /// without touching the host port.
+    pub fn peer_to_peer(&mut self, now: Cycle, src: usize, dst: usize, bytes: u32) -> Cycle {
+        let t = self.ports[src].1.send(now, bytes as u64);
+        let t = self.ports[dst].0.send(t, bytes as u64);
+        self.p2p_transfers.inc();
+        t + self.traversal
+    }
+
+    /// Traversal latency in cycles.
+    pub fn traversal_cycles(&self) -> Cycle {
+        self.traversal
+    }
+
+    /// Number of device ports.
+    pub fn device_ports(&self) -> usize {
+        self.ports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn switch() -> CxlSwitch {
+        CxlSwitch::new(SwitchConfig::default(), Frequency::ghz(2.0))
+    }
+
+    #[test]
+    fn traversal_latency_applied() {
+        let mut s = switch();
+        let t = s.host_to_device(0, 0, 64);
+        // 64 B at 32 B/cycle through two gates + 140-cycle traversal.
+        assert_eq!(t, 4 + 140);
+    }
+
+    #[test]
+    fn p2p_does_not_touch_host_port() {
+        let mut s = switch();
+        // Saturate device ports 0->1 with P2P...
+        for _ in 0..100 {
+            s.peer_to_peer(0, 0, 1, 256);
+        }
+        // ...host port is still immediately available.
+        let t = s.host_to_device(0, 2, 64);
+        assert_eq!(t, 4 + 140);
+        assert_eq!(s.p2p_transfers.get(), 100);
+    }
+
+    #[test]
+    fn per_port_bandwidth_isolates_devices() {
+        let mut s = switch();
+        let busy = s.host_to_device(0, 0, 4096); // occupies port 0 for a while
+        let other = s.host_to_device(0, 1, 64);
+        assert!(other < busy, "port 1 should not wait behind port 0");
+    }
+
+    #[test]
+    fn router_partitions_evenly() {
+        let r = HdmRouter::even(0x1_0000_0000, 8 << 30, 8);
+        assert_eq!(r.devices(), 8);
+        assert_eq!(r.device_of(0x1_0000_0000), Some(0));
+        assert_eq!(r.device_of(0x1_0000_0000 + (1 << 30)), Some(1));
+        assert_eq!(r.device_of(0x1_0000_0000 + (8u64 << 30) - 1), Some(7));
+        assert_eq!(r.device_of(0x0), None);
+    }
+
+    #[test]
+    fn router_spans_are_contiguous() {
+        let r = HdmRouter::even(0, 4096, 4);
+        for d in 0..4 {
+            let (b, e) = r.span(d);
+            assert_eq!(e - b, 1024);
+            assert_eq!(r.device_of(b), Some(d));
+            assert_eq!(r.device_of(e - 1), Some(d));
+        }
+    }
+}

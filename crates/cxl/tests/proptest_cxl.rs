@@ -1,0 +1,73 @@
+//! Property tests: packet-filter classification and link conservation.
+
+use m2ndp_cxl::filter::Asid;
+use m2ndp_cxl::{CxlLink, CxlLinkConfig, CxlMemPacket, FilterEntry, PacketFilter};
+use m2ndp_mem::{MemReq, ReqId, ReqSource};
+use m2ndp_sim::Frequency;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The filter matches exactly the addresses inside a registered region.
+    #[test]
+    fn filter_matches_iff_in_range(base in 0u64..(1 << 40),
+                                   size in 1u64..(1 << 20),
+                                   probe in any::<u64>()) {
+        let mut f = PacketFilter::new();
+        let bound = base.saturating_add(size);
+        prop_assume!(bound > base);
+        f.insert(FilterEntry { base, bound, asid: Asid(7) }).expect("insert");
+        let hit = f.matches(probe);
+        if probe >= base && probe < bound {
+            let m = hit.expect("must match inside region");
+            prop_assert_eq!(m.offset, probe - base);
+            prop_assert_eq!(m.asid, Asid(7));
+        } else {
+            prop_assert!(hit.is_none(), "false match at {probe:#x}");
+        }
+    }
+
+    /// Non-overlapping regions for many processes never cross-match.
+    #[test]
+    fn filter_isolates_processes(n in 2u16..32, probe_proc in 0u16..32) {
+        let n = n.max(2);
+        let probe_proc = probe_proc % n;
+        let mut f = PacketFilter::new();
+        for p in 0..n {
+            f.insert(FilterEntry {
+                base: (p as u64) << 20,
+                bound: ((p as u64) << 20) + 0x10000,
+                asid: Asid(p),
+            }).expect("insert");
+        }
+        let addr = ((probe_proc as u64) << 20) + 0x40;
+        prop_assert_eq!(f.matches(addr).expect("in range").asid, Asid(probe_proc));
+    }
+
+    /// Every packet sent over a link direction arrives exactly once, in
+    /// order, and never before the one-way latency.
+    #[test]
+    fn link_delivers_everything_in_order(count in 1usize..100, gap in 0u64..10) {
+        let mut link = CxlLink::new(CxlLinkConfig::default_150ns(), Frequency::ghz(2.0));
+        let mut sent_at = Vec::new();
+        let mut now = 0u64;
+        for i in 0..count {
+            let pkt = CxlMemPacket::read(MemReq::read(ReqId(i as u64), 0x1000, 64, ReqSource::Host));
+            link.send_m2s(now, pkt);
+            sent_at.push(now);
+            now += gap;
+        }
+        let one_way = link.one_way_cycles();
+        let mut received = 0usize;
+        for t in 0..now + one_way + 10_000 {
+            while let Some(pkt) = link.recv_m2s(t) {
+                prop_assert_eq!(pkt.req.id, ReqId(received as u64), "out of order");
+                prop_assert!(t >= sent_at[received] + one_way,
+                    "arrived early: {t} < {} + {one_way}", sent_at[received]);
+                received += 1;
+            }
+        }
+        prop_assert_eq!(received, count);
+    }
+}

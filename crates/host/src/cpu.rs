@@ -1,0 +1,197 @@
+//! The host CPU timing model (Table IV "CPU" block), and the CPU-NDP
+//! configuration (host-class cores inside the CXL memory, §IV-A).
+//!
+//! Memory-bound phases on an out-of-order core are governed by how many
+//! misses the core keeps in flight (its MLP window) and the latency of each
+//! miss; streaming throughput per core is `mlp × line / latency`, summed
+//! over cores and capped by the bandwidth of whichever pipe the data
+//! crosses (local DDR5, the CXL link, or — for CPU-NDP — the device's
+//! internal DRAM). Pointer-chasing phases serialize on the dependent-load
+//! latency instead. Both regimes, plus a compute term, make up
+//! [`HostCpu::stream_runtime_ns`] and [`HostCpu::chase_latency_ns`].
+
+use m2ndp_sim::Frequency;
+
+/// Where data lives relative to the executing cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataHome {
+    /// The host's local DDR5.
+    LocalDram,
+    /// A passive CXL memory expander across the link.
+    CxlExpander,
+    /// Inside the same CXL device as the (CPU-NDP) cores.
+    DeviceInternal,
+}
+
+/// Host CPU configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostCpuConfig {
+    /// Core count (Table IV: 64).
+    pub cores: u32,
+    /// Core frequency (3.2 GHz).
+    pub freq: Frequency,
+    /// Outstanding misses one core sustains (MSHRs / LFB entries).
+    pub mlp: u32,
+    /// Sustained ops per core per cycle for the compute component.
+    pub ops_per_cycle: f64,
+    /// Cacheline transfer size.
+    pub line_bytes: u32,
+    /// Local DRAM load-to-use latency (ns).
+    pub local_latency_ns: f64,
+    /// Local DRAM bandwidth (bytes/s; 409.6 GB/s).
+    pub local_bw: f64,
+    /// CXL load-to-use latency (ns; 150/300/600).
+    pub cxl_latency_ns: f64,
+    /// CXL link bandwidth per direction (bytes/s; 64 GB/s).
+    pub cxl_bw: f64,
+    /// Device-internal DRAM bandwidth for CPU-NDP placement (bytes/s).
+    pub internal_bw: f64,
+    /// Device-internal load-to-use latency for CPU-NDP (ns).
+    pub internal_latency_ns: f64,
+}
+
+impl Default for HostCpuConfig {
+    fn default() -> Self {
+        Self {
+            cores: 64,
+            freq: Frequency::ghz(3.2),
+            mlp: 14,
+            ops_per_cycle: 4.0,
+            line_bytes: 64,
+            local_latency_ns: 90.0,
+            local_bw: 409.6e9,
+            cxl_latency_ns: 150.0,
+            cxl_bw: 64e9,
+            internal_bw: 409.6e9,
+            internal_latency_ns: 105.0,
+        }
+    }
+}
+
+impl HostCpuConfig {
+    /// The CPU-NDP configuration: 32 host-class cores placed inside the
+    /// CXL device with its internal 409.6 GB/s (§IV-A's EPYC measurement
+    /// proxy — see DESIGN.md substitutions).
+    pub fn cpu_ndp() -> Self {
+        Self {
+            cores: 32,
+            ..Self::default()
+        }
+    }
+
+    /// Scales the CXL load-to-use latency (Fig. 13a's 2×/4× LtU).
+    pub fn with_ltu_scale(mut self, factor: f64) -> Self {
+        self.cxl_latency_ns *= factor;
+        self
+    }
+}
+
+/// The host CPU model.
+#[derive(Debug, Clone)]
+pub struct HostCpu {
+    cfg: HostCpuConfig,
+}
+
+impl HostCpu {
+    /// Creates the model.
+    pub fn new(cfg: HostCpuConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HostCpuConfig {
+        &self.cfg
+    }
+
+    fn home_params(&self, home: DataHome) -> (f64, f64) {
+        match home {
+            DataHome::LocalDram => (self.cfg.local_latency_ns, self.cfg.local_bw),
+            DataHome::CxlExpander => (self.cfg.cxl_latency_ns, self.cfg.cxl_bw),
+            DataHome::DeviceInternal => {
+                (self.cfg.internal_latency_ns, self.cfg.internal_bw)
+            }
+        }
+    }
+
+    /// Aggregate streaming bandwidth the cores can extract from `home`
+    /// (bytes/s): per-core MLP-limited throughput × cores, capped by the
+    /// pipe.
+    pub fn stream_bw(&self, home: DataHome) -> f64 {
+        let (lat_ns, pipe_bw) = self.home_params(home);
+        let per_core = self.cfg.mlp as f64 * self.cfg.line_bytes as f64 / (lat_ns * 1e-9);
+        (per_core * self.cfg.cores as f64).min(pipe_bw)
+    }
+
+    /// Runtime of a streaming phase that moves `bytes` and executes `ops`
+    /// arithmetic operations, in nanoseconds.
+    pub fn stream_runtime_ns(&self, bytes: u64, ops: u64, home: DataHome) -> f64 {
+        let mem_ns = bytes as f64 / self.stream_bw(home) * 1e9;
+        let compute_ns = ops as f64
+            / (self.cfg.ops_per_cycle * self.cfg.cores as f64 * self.cfg.freq.hz())
+            * 1e9;
+        mem_ns.max(compute_ns)
+    }
+
+    /// Latency of a dependent-load chain of `hops` to `home` data plus
+    /// `compute_ns` of serial host compute (hash functions etc.).
+    pub fn chase_latency_ns(&self, hops: u32, compute_ns: f64, home: DataHome) -> f64 {
+        let (lat_ns, _) = self.home_params(home);
+        hops as f64 * lat_ns + compute_ns
+    }
+
+    /// Peak arithmetic throughput (ops/s) for the roofline.
+    pub fn peak_ops(&self) -> f64 {
+        self.cfg.ops_per_cycle * self.cfg.cores as f64 * self.cfg.freq.hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cxl_stream_is_link_bound() {
+        let cpu = HostCpu::new(HostCpuConfig::default());
+        // 64 cores × 14 × 64 B / 150 ns ≈ 382 GB/s demand ≫ 64 GB/s link.
+        assert!((cpu.stream_bw(DataHome::CxlExpander) - 64e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn local_stream_approaches_dram_bw() {
+        let cpu = HostCpu::new(HostCpuConfig::default());
+        let bw = cpu.stream_bw(DataHome::LocalDram);
+        assert!(bw > 300e9, "local stream too slow: {bw}");
+        assert!(bw <= 409.6e9);
+    }
+
+    #[test]
+    fn cpu_ndp_is_latency_limited_inside_device() {
+        let ndp = HostCpu::new(HostCpuConfig::cpu_ndp());
+        let bw = ndp.stream_bw(DataHome::DeviceInternal);
+        // 32 cores × 14 × 64 / 105 ns ≈ 273 GB/s < 409.6 GB/s: the cores,
+        // not the DRAM, are the bottleneck (why M²NDP beats CPU-NDP).
+        assert!(bw < 409.6e9 * 0.75, "CPU-NDP should not saturate: {bw}");
+        assert!(bw > 409.6e9 * 0.5);
+    }
+
+    #[test]
+    fn stream_runtime_mem_vs_compute_bound() {
+        let cpu = HostCpu::new(HostCpuConfig::default());
+        // Memory-bound: 1 GB over CXL at 64 GB/s ≈ 15.6 ms.
+        let t = cpu.stream_runtime_ns(1 << 30, 1, DataHome::CxlExpander);
+        assert!((t * 1e-9 - (1u64 << 30) as f64 / 64e9).abs() < 1e-4);
+        // Compute-bound: huge op count on tiny data.
+        let t2 = cpu.stream_runtime_ns(64, 1 << 34, DataHome::LocalDram);
+        assert!(t2 > cpu.stream_runtime_ns(64, 1, DataHome::LocalDram) * 1000.0);
+    }
+
+    #[test]
+    fn chase_latency_scales_with_ltu() {
+        let base = HostCpu::new(HostCpuConfig::default());
+        let slow = HostCpu::new(HostCpuConfig::default().with_ltu_scale(4.0));
+        let a = base.chase_latency_ns(3, 200.0, DataHome::CxlExpander);
+        let b = slow.chase_latency_ns(3, 200.0, DataHome::CxlExpander);
+        assert!((a - (3.0 * 150.0 + 200.0)).abs() < 1e-9);
+        assert!((b - (3.0 * 600.0 + 200.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,259 @@
+//! NDP offloading mechanisms and their end-to-end cost (Fig. 5), plus the
+//! open-loop request simulation behind the KVStore/DLRM tail-latency and
+//! throughput experiments (Figs. 1b, 10b, 11a).
+//!
+//! Three mechanisms launch kernels on the device:
+//!
+//! * **M²func** (this paper): one CXL.mem write (launch) + one CXL.mem read
+//!   (return value) — `z + 2x` end to end, with up to 48 concurrent kernels;
+//! * **CXL.io ring buffer**: doorbell, command DMA, launch + error check —
+//!   `z + 8y` (5y before, 3y after), concurrent kernels allowed;
+//! * **CXL.io direct MMIO**: `z + 3y`, but a *single* outstanding kernel,
+//!   since the device registers must not be overwritten (§II-C).
+
+use m2ndp_cxl::{CxlIoModel, CxlLinkConfig};
+use m2ndp_sim::rng::{exponential, seeded};
+use m2ndp_sim::{EventQueue, Histogram};
+
+/// A kernel-offload mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadMechanism {
+    /// Memory-mapped functions over CXL.mem (§III-B).
+    M2Func,
+    /// Conventional ring buffer over CXL.io/PCIe.
+    CxlIoRingBuffer,
+    /// Direct device-register MMIO over CXL.io/PCIe.
+    CxlIoDirect,
+}
+
+/// Latency/concurrency model for one mechanism.
+#[derive(Debug, Clone)]
+pub struct OffloadModel {
+    mechanism: OffloadMechanism,
+    link: CxlLinkConfig,
+    io: CxlIoModel,
+    max_concurrent: u32,
+}
+
+impl OffloadModel {
+    /// Builds the model from the link/IO parameters in play.
+    pub fn new(mechanism: OffloadMechanism, link: CxlLinkConfig, io: CxlIoModel) -> Self {
+        let max_concurrent = match mechanism {
+            OffloadMechanism::M2Func => 48,
+            OffloadMechanism::CxlIoRingBuffer => 48,
+            OffloadMechanism::CxlIoDirect => 1,
+        };
+        Self {
+            mechanism,
+            link,
+            io,
+            max_concurrent,
+        }
+    }
+
+    /// Default-parameter model for a mechanism.
+    pub fn with_defaults(mechanism: OffloadMechanism) -> Self {
+        Self::new(mechanism, CxlLinkConfig::default_150ns(), CxlIoModel::default())
+    }
+
+    /// The mechanism.
+    pub fn mechanism(&self) -> OffloadMechanism {
+        self.mechanism
+    }
+
+    /// Host-side latency before the kernel starts executing (ns).
+    pub fn pre_ns(&self) -> f64 {
+        match self.mechanism {
+            OffloadMechanism::M2Func => self.link.one_way_ns, // x
+            OffloadMechanism::CxlIoRingBuffer => self.io.ring_buffer_pre_ns(),
+            OffloadMechanism::CxlIoDirect => self.io.direct_pre_ns(),
+        }
+    }
+
+    /// Latency after kernel completion until the host observes it (ns).
+    pub fn post_ns(&self) -> f64 {
+        match self.mechanism {
+            OffloadMechanism::M2Func => self.link.one_way_ns, // x (sync read return)
+            OffloadMechanism::CxlIoRingBuffer => self.io.ring_buffer_post_ns(),
+            OffloadMechanism::CxlIoDirect => self.io.direct_post_ns(),
+        }
+    }
+
+    /// Total communication overhead around one kernel (Fig. 5's totals
+    /// minus z).
+    pub fn overhead_ns(&self) -> f64 {
+        self.pre_ns() + self.post_ns()
+    }
+
+    /// End-to-end latency of one kernel of runtime `z_ns`.
+    pub fn end_to_end_ns(&self, z_ns: f64) -> f64 {
+        z_ns + self.overhead_ns()
+    }
+
+    /// Maximum concurrently outstanding kernels.
+    pub fn max_concurrent(&self) -> u32 {
+        self.max_concurrent
+    }
+}
+
+/// Open-loop offload simulation: Poisson request arrivals, each request
+/// becomes one fine-grained NDP kernel; the device executes up to
+/// `device_slots` kernels concurrently (or 1 for direct MMIO). Produces the
+/// latency distribution for P95 reporting and the latency–throughput curves
+/// of Fig. 11a.
+#[derive(Debug)]
+pub struct OffloadSim {
+    model: OffloadModel,
+    /// Concurrent kernels the device itself sustains.
+    pub device_slots: u32,
+}
+
+/// Result of one open-loop run.
+#[derive(Debug)]
+pub struct OffloadRunResult {
+    /// End-to-end request latencies (ns).
+    pub latencies: Histogram,
+    /// Achieved throughput (requests/s).
+    pub throughput: f64,
+}
+
+impl OffloadSim {
+    /// Creates the simulation.
+    pub fn new(model: OffloadModel, device_slots: u32) -> Self {
+        Self {
+            model,
+            device_slots,
+        }
+    }
+
+    /// Runs `n_requests` arriving at `rate_per_sec`, each with a kernel
+    /// service time drawn from `service_ns` (cycled). Deterministic under
+    /// `seed`.
+    pub fn run(
+        &self,
+        n_requests: usize,
+        rate_per_sec: f64,
+        service_ns: &[f64],
+        seed: u64,
+    ) -> OffloadRunResult {
+        assert!(!service_ns.is_empty());
+        let mut rng = seeded(seed);
+        let mean_gap_ns = 1e9 / rate_per_sec;
+        let concurrency = self.model.max_concurrent().min(self.device_slots).max(1);
+
+        // Generate arrivals.
+        let mut arrivals = Vec::with_capacity(n_requests);
+        let mut t = 0.0f64;
+        for _ in 0..n_requests {
+            t += exponential(&mut rng, mean_gap_ns);
+            arrivals.push(t);
+        }
+
+        // Server pool of `concurrency` kernel slots; FIFO admission.
+        let mut free_at: EventQueue<()> = EventQueue::new();
+        for _ in 0..concurrency {
+            free_at.schedule(0, ());
+        }
+        let mut latencies = Histogram::new();
+        let mut last_done = 0.0f64;
+        for (i, &arr) in arrivals.iter().enumerate() {
+            let (slot_free, ()) = free_at.pop().expect("pool maintains slot count");
+            let start = (slot_free as f64).max(arr + self.model.pre_ns());
+            let service = service_ns[i % service_ns.len()];
+            let kernel_done = start + service;
+            let observed = kernel_done + self.model.post_ns();
+            // Direct MMIO cannot reuse its device register until the host
+            // has read the result back (§II-C); the other mechanisms free
+            // the kernel slot at completion.
+            let slot_free_at = if self.model.mechanism() == OffloadMechanism::CxlIoDirect {
+                observed
+            } else {
+                kernel_done
+            };
+            free_at.schedule(slot_free_at.ceil() as u64, ());
+            latencies.record((observed - arr).max(0.0) as u64);
+            last_done = last_done.max(observed);
+        }
+        OffloadRunResult {
+            latencies,
+            throughput: n_requests as f64 / (last_done * 1e-9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_overheads_match_paper_math() {
+        // x = 75 ns, y = 500 ns → M²func 150 ns, RB 4000 ns, DR 1500 ns.
+        let m2 = OffloadModel::with_defaults(OffloadMechanism::M2Func);
+        let rb = OffloadModel::with_defaults(OffloadMechanism::CxlIoRingBuffer);
+        let dr = OffloadModel::with_defaults(OffloadMechanism::CxlIoDirect);
+        assert!((m2.overhead_ns() - 150.0).abs() < 1e-9);
+        assert!((rb.overhead_ns() - 4000.0).abs() < 1e-9);
+        assert!((dr.overhead_ns() - 1500.0).abs() < 1e-9);
+        // Fig. 5 example: z = 6.4 µs → communication reduced 33–75 %.
+        let z = 6400.0;
+        assert!(m2.end_to_end_ns(z) < dr.end_to_end_ns(z));
+        assert!(dr.end_to_end_ns(z) < rb.end_to_end_ns(z));
+        let comm_reduction_vs_rb = 1.0 - m2.overhead_ns() / rb.overhead_ns();
+        assert!(comm_reduction_vs_rb > 0.9);
+    }
+
+    #[test]
+    fn direct_mmio_serializes_kernels() {
+        let dr = OffloadModel::with_defaults(OffloadMechanism::CxlIoDirect);
+        assert_eq!(dr.max_concurrent(), 1);
+        let m2 = OffloadModel::with_defaults(OffloadMechanism::M2Func);
+        assert_eq!(m2.max_concurrent(), 48);
+    }
+
+    #[test]
+    fn m2func_sustains_higher_throughput_than_direct() {
+        let service = vec![770.0]; // 0.77 µs P95 kernel runtime (§IV-C)
+        let rate = 1.0e7; // 10M req/s offered
+        let m2 = OffloadSim::new(OffloadModel::with_defaults(OffloadMechanism::M2Func), 48)
+            .run(20_000, rate, &service, 42);
+        let dr = OffloadSim::new(OffloadModel::with_defaults(OffloadMechanism::CxlIoDirect), 48)
+            .run(20_000, rate, &service, 42);
+        assert!(
+            m2.throughput > 10.0 * dr.throughput,
+            "M2func {:.2e} vs direct {:.2e}",
+            m2.throughput,
+            dr.throughput
+        );
+    }
+
+    #[test]
+    fn ring_buffer_inflates_tail_latency_at_low_load() {
+        let service = vec![770.0];
+        let rate = 1.0e5; // light load: latency ≈ overhead + service
+        let mut m2 = OffloadSim::new(OffloadModel::with_defaults(OffloadMechanism::M2Func), 48)
+            .run(5_000, rate, &service, 7);
+        let mut rb = OffloadSim::new(
+            OffloadModel::with_defaults(OffloadMechanism::CxlIoRingBuffer),
+            48,
+        )
+        .run(5_000, rate, &service, 7);
+        let p95_m2 = m2.latencies.percentile(0.95);
+        let p95_rb = rb.latencies.percentile(0.95);
+        assert!(
+            p95_rb as f64 > 3.0 * p95_m2 as f64,
+            "RB P95 {p95_rb} should dwarf M2func P95 {p95_m2}"
+        );
+    }
+
+    #[test]
+    fn saturation_bends_the_latency_curve() {
+        let service = vec![770.0];
+        let sim = OffloadSim::new(OffloadModel::with_defaults(OffloadMechanism::M2Func), 48);
+        let mut low = sim.run(10_000, 1.0e6, &service, 3);
+        let mut high = sim.run(10_000, 2.0e8, &service, 3);
+        assert!(
+            high.latencies.percentile(0.95) > 2 * low.latencies.percentile(0.95),
+            "saturated P95 should blow up"
+        );
+    }
+}

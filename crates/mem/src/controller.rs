@@ -1,0 +1,426 @@
+//! Per-channel DRAM controller with FR-FCFS scheduling.
+//!
+//! The controller keeps per-bank row state and timing gates and serializes
+//! data bursts through a per-channel [`BandwidthGate`]. Scheduling follows
+//! FR-FCFS: among queued requests, row-buffer hits are served first, then the
+//! oldest request wins; a request's full command timeline (PRE/ACT/RD or WR)
+//! is computed when it is picked, updating the bank gates so later picks see
+//! the bank busy.
+
+use m2ndp_sim::{BandwidthGate, Counter, Cycle, EventQueue, Frequency};
+
+use crate::config::DramConfig;
+use crate::mapping::DramCoord;
+use crate::req::MemReq;
+
+/// Per-bank row-buffer and timing state.
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Earliest cycle the next ACT to this bank may issue (tRC from last ACT,
+    /// tRP from last PRE).
+    next_act: Cycle,
+    /// Earliest cycle a column command may issue after ACT (tRCD).
+    next_col: Cycle,
+    /// Earliest cycle a PRE may issue.
+    next_pre: Cycle,
+}
+
+/// Outcome classification for one serviced request (row locality stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The target row was already open.
+    Hit,
+    /// The bank was closed; only ACT was needed.
+    Miss,
+    /// A different row was open; PRE + ACT were needed.
+    Conflict,
+}
+
+/// Statistics for one channel.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelStats {
+    /// Row-buffer hits.
+    pub row_hits: Counter,
+    /// Row misses (bank closed).
+    pub row_misses: Counter,
+    /// Row conflicts (wrong row open).
+    pub row_conflicts: Counter,
+    /// Data bytes moved (both directions).
+    pub bytes: Counter,
+    /// Requests serviced.
+    pub requests: Counter,
+}
+
+impl ChannelStats {
+    /// Fraction of requests that hit the open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.requests.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits.get() as f64 / total as f64
+        }
+    }
+}
+
+/// One DRAM channel: request queue, banks, data bus.
+#[derive(Debug)]
+pub struct DramChannel {
+    banks: Vec<Bank>,
+    bankgroups: u32,
+    queue: Vec<(Cycle, MemReq, DramCoord)>,
+    queue_depth: usize,
+    bus: BandwidthGate,
+    /// Completion events: (data-ready cycle, request).
+    completions: EventQueue<MemReq>,
+    /// Timing parameters converted to owner-clock cycles.
+    t_rc: Cycle,
+    t_rcd: Cycle,
+    t_cl: Cycle,
+    t_rp: Cycle,
+    t_ccd_l: Cycle,
+    burst_cycles: Cycle,
+    access_bytes: u32,
+    /// Last column command cycle per bankgroup, for tCCD_L.
+    last_col_in_group: Vec<Cycle>,
+    stats: ChannelStats,
+}
+
+impl DramChannel {
+    /// Builds a channel from `cfg`, with timing converted into the `owner`
+    /// clock domain.
+    pub fn new(cfg: &DramConfig, owner: Frequency) -> Self {
+        let banks = vec![Bank::default(); cfg.banks_per_channel() as usize];
+        let bytes_per_cycle = owner.bytes_per_cycle(cfg.channel_bw_bytes_per_sec());
+        let burst_cycles =
+            (cfg.access_bytes as f64 / bytes_per_cycle).ceil().max(1.0) as Cycle;
+        Self {
+            banks,
+            bankgroups: cfg.bankgroups,
+            queue: Vec::with_capacity(cfg.queue_depth),
+            queue_depth: cfg.queue_depth,
+            bus: BandwidthGate::new(bytes_per_cycle),
+            completions: EventQueue::new(),
+            t_rc: cfg.to_owner_cycles(cfg.timing.t_rc, owner),
+            t_rcd: cfg.to_owner_cycles(cfg.timing.t_rcd, owner),
+            t_cl: cfg.to_owner_cycles(cfg.timing.t_cl, owner),
+            t_rp: cfg.to_owner_cycles(cfg.timing.t_rp, owner),
+            t_ccd_l: cfg.to_owner_cycles(cfg.timing.t_ccd_l, owner),
+            burst_cycles,
+            access_bytes: cfg.access_bytes,
+            last_col_in_group: vec![0; cfg.bankgroups as usize],
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Whether the request queue has room.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.queue_depth
+    }
+
+    /// Enqueues a request with its decomposed coordinates.
+    ///
+    /// # Errors
+    /// Returns the request back if the queue is full.
+    pub fn enqueue(&mut self, now: Cycle, req: MemReq, coord: DramCoord) -> Result<(), MemReq> {
+        if !self.can_accept() {
+            return Err(req);
+        }
+        self.queue.push((now, req, coord));
+        Ok(())
+    }
+
+    fn bank_index(&self, coord: &DramCoord) -> usize {
+        (coord.bankgroup * (self.banks.len() as u32 / self.bankgroups) + coord.bank) as usize
+    }
+
+    /// FR-FCFS pick: oldest row hit first, else oldest overall.
+    fn pick(&self, now: Cycle) -> Option<usize> {
+        let mut best_hit: Option<(Cycle, usize)> = None;
+        let mut best_any: Option<(Cycle, usize)> = None;
+        for (i, (arrived, _req, coord)) in self.queue.iter().enumerate() {
+            if *arrived > now {
+                continue;
+            }
+            let bank = &self.banks[self.bank_index(coord)];
+            let is_hit = bank.open_row == Some(coord.row);
+            if is_hit && best_hit.is_none_or(|(a, _)| *arrived < a) {
+                best_hit = Some((*arrived, i));
+            }
+            if best_any.is_none_or(|(a, _)| *arrived < a) {
+                best_any = Some((*arrived, i));
+            }
+        }
+        best_hit.or(best_any).map(|(_, i)| i)
+    }
+
+    /// Services up to `max_picks` requests this cycle and returns how many
+    /// were started.
+    pub fn tick(&mut self, now: Cycle, max_picks: usize) -> usize {
+        let mut started = 0;
+        while started < max_picks {
+            // Cap scheduled-but-not-completed requests at the bank count:
+            // enough to pipeline CAS latency and keep the data bus saturated,
+            // without letting the analytic scheduler run unboundedly ahead of
+            // requests that have not arrived yet.
+            if self.completions.len() >= self.banks.len() {
+                break;
+            }
+            let Some(idx) = self.pick(now) else { break };
+            let (_, req, coord) = self.queue.remove(idx);
+            self.service(now, req, coord);
+            started += 1;
+        }
+        started
+    }
+
+    /// Computes the timeline for one request and schedules its completion.
+    fn service(&mut self, now: Cycle, req: MemReq, coord: DramCoord) {
+        let bank_idx = self.bank_index(&coord);
+        let group = coord.bankgroup as usize;
+        let t_rp = self.t_rp;
+        let t_rc = self.t_rc;
+        let t_rcd = self.t_rcd;
+        let t_ccd_l = self.t_ccd_l;
+        let bank = &mut self.banks[bank_idx];
+
+        let outcome = match bank.open_row {
+            Some(r) if r == coord.row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Miss,
+        };
+
+        // Cycle at which a column command may issue to the bank.
+        let col_ready = match outcome {
+            RowOutcome::Hit => now.max(bank.next_col),
+            RowOutcome::Miss => {
+                let act = now.max(bank.next_act);
+                bank.next_act = act + t_rc;
+                bank.next_pre = act + t_rcd;
+                act + t_rcd
+            }
+            RowOutcome::Conflict => {
+                let pre = now.max(bank.next_pre);
+                let act = (pre + t_rp).max(bank.next_act);
+                bank.next_act = act + t_rc;
+                bank.next_pre = act + t_rcd;
+                act + t_rcd
+            }
+        };
+        bank.open_row = Some(coord.row);
+        bank.next_col = col_ready;
+
+        // tCCD_L between column commands in the same bankgroup.
+        let col = col_ready.max(self.last_col_in_group[group]);
+        self.last_col_in_group[group] = col + t_ccd_l;
+
+        // Data burst occupies the channel bus; CAS latency before first beat.
+        let data_start = self.bus.earliest(col + self.t_cl);
+        let bursts = req.bytes.div_ceil(self.access_bytes).max(1) as u64;
+        let done = self.bus.consume(data_start, bursts * self.access_bytes as u64);
+
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits.inc(),
+            RowOutcome::Miss => self.stats.row_misses.inc(),
+            RowOutcome::Conflict => self.stats.row_conflicts.inc(),
+        }
+        self.stats.requests.inc();
+        self.stats.bytes.add(req.bytes as u64);
+
+        // Writes complete when data is accepted; reads when data returns.
+        let ready = if req.write { data_start.max(col) } else { done };
+        self.completions.schedule(ready, req);
+    }
+
+    /// Pops a completed request whose data is ready at `now`.
+    pub fn pop_completed(&mut self, now: Cycle) -> Option<MemReq> {
+        self.completions.pop_due(now).map(|(_, r)| r)
+    }
+
+    /// The next cycle at which anything interesting happens (for
+    /// fast-forwarding), if any work is in flight.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        let c = self.completions.next_cycle();
+        let q = self.queue.iter().map(|(a, _, _)| *a).min();
+        match (c, q) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Whether no requests are queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.completions.is_empty()
+    }
+
+    /// Channel statistics.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Total data-bus bytes moved.
+    pub fn bus_bytes(&self) -> u64 {
+        self.bus.total_bytes()
+    }
+
+    /// Data-bus utilization over `elapsed` cycles.
+    pub fn bus_utilization(&self, elapsed: Cycle) -> f64 {
+        self.bus.utilization(elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::req::{ReqId, ReqSource};
+
+    fn channel() -> DramChannel {
+        DramChannel::new(&DramConfig::lpddr5_cxl(), Frequency::ghz(2.0))
+    }
+
+    fn read(id: u64, addr: u64) -> MemReq {
+        MemReq::read(ReqId(id), addr, 32, ReqSource::Host)
+    }
+
+    fn coord(bank: u32, row: u64) -> DramCoord {
+        DramCoord {
+            channel: 0,
+            bankgroup: 0,
+            bank,
+            row,
+        }
+    }
+
+    fn drain(ch: &mut DramChannel, until: Cycle) -> Vec<(Cycle, MemReq)> {
+        let mut out = Vec::new();
+        for now in 0..until {
+            ch.tick(now, 4);
+            while let Some(r) = ch.pop_completed(now) {
+                out.push((now, r));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn closed_bank_read_takes_rcd_plus_cl() {
+        let mut ch = channel();
+        ch.enqueue(0, read(0, 0), coord(0, 0)).unwrap();
+        let done = drain(&mut ch, 1000);
+        assert_eq!(done.len(), 1);
+        let (t, _) = done[0];
+        // tRCD(15clk@800MHz=18.75ns→38cyc) + tCL(20clk=25ns→50cyc) + burst.
+        let t_rcd = 38;
+        let t_cl = 50;
+        assert!(
+            t >= t_rcd + t_cl,
+            "completed too early: {t} < {}",
+            t_rcd + t_cl
+        );
+        assert!(t < 200, "completed too late: {t}");
+        assert_eq!(ch.stats().row_misses.get(), 1);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        // Hit: same row back to back.
+        let mut ch = channel();
+        ch.enqueue(0, read(0, 0), coord(0, 0)).unwrap();
+        ch.enqueue(0, read(1, 32), coord(0, 0)).unwrap();
+        let hit_done = drain(&mut ch, 2000).last().unwrap().0;
+        assert_eq!(ch.stats().row_hits.get(), 1);
+
+        // Conflict: different rows in the same bank.
+        let mut ch2 = channel();
+        ch2.enqueue(0, read(0, 0), coord(0, 0)).unwrap();
+        ch2.enqueue(0, read(1, 32), coord(0, 5)).unwrap();
+        let conf_done = drain(&mut ch2, 4000).last().unwrap().0;
+        assert_eq!(ch2.stats().row_conflicts.get(), 1);
+
+        assert!(
+            conf_done > hit_done,
+            "conflict ({conf_done}) should finish after hit ({hit_done})"
+        );
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hit_over_older_conflict() {
+        let mut ch = channel();
+        // Open row 0 in bank 0.
+        ch.enqueue(0, read(0, 0), coord(0, 0)).unwrap();
+        ch.tick(0, 1);
+        // Now enqueue an older conflict (row 7) and a younger hit (row 0).
+        ch.enqueue(1, read(1, 64), coord(0, 7)).unwrap();
+        ch.enqueue(2, read(2, 32), coord(0, 0)).unwrap();
+        ch.tick(3, 1);
+        // The hit (id 2) should have been picked before the conflict (id 1):
+        // so after this tick the queue still holds id 1.
+        assert_eq!(ch.queue.len(), 1);
+        assert_eq!(ch.queue[0].1.id, ReqId(1));
+    }
+
+    #[test]
+    fn bus_serializes_parallel_bank_hits() {
+        let mut ch = channel();
+        // 16 requests to 16 different banks: bank-parallel, bus-serial.
+        for b in 0..16 {
+            ch.enqueue(0, read(b as u64, b as u64 * 1024), coord(b % 16, 0))
+                .unwrap();
+        }
+        let done = drain(&mut ch, 10_000);
+        assert_eq!(done.len(), 16);
+        // 16 * 32B at 6.4 B/cycle = 80 cycles of bus time minimum.
+        let span = done.last().unwrap().0 - done.first().unwrap().0;
+        assert!(span >= 16 * 5 - 10, "bus did not serialize: span {span}");
+    }
+
+    #[test]
+    fn queue_full_backpressures() {
+        let mut ch = channel();
+        let mut accepted = 0;
+        for i in 0..1000 {
+            if ch.enqueue(0, read(i, i * 32), coord(0, 0)).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 64); // queue_depth
+    }
+
+    #[test]
+    fn write_completes_without_read_latency_tail() {
+        let mut ch = channel();
+        let w = MemReq::write(ReqId(0), 0, 32, ReqSource::Host);
+        ch.enqueue(0, w, coord(0, 0)).unwrap();
+        let done = drain(&mut ch, 1000);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn sequential_sweep_achieves_high_row_hit_rate() {
+        let mut ch = channel();
+        let mut issued = 0u64;
+        let mut completed = 0;
+        let mut now = 0;
+        while completed < 256 {
+            if issued < 256 && ch.can_accept() {
+                // Sequential 32B within one bank's row (row_bytes 2048).
+                let addr = (issued % 64) * 32 + (issued / 64) * 2048;
+                ch.enqueue(now, read(issued, addr), coord(0, issued / 64))
+                    .unwrap();
+                issued += 1;
+            }
+            ch.tick(now, 4);
+            while ch.pop_completed(now).is_some() {
+                completed += 1;
+            }
+            now += 1;
+            assert!(now < 100_000, "deadlock");
+        }
+        assert!(
+            ch.stats().row_hit_rate() > 0.9,
+            "hit rate {}",
+            ch.stats().row_hit_rate()
+        );
+    }
+}

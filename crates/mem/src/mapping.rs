@@ -1,0 +1,203 @@
+//! Physical address to DRAM coordinate mapping.
+//!
+//! The paper assumes fine-grained 256 B-granularity *hashed* interleaving
+//! across the CXL memory's channels (§IV-A, citing Rau's pseudo-random
+//! interleaving [114]); within a channel, consecutive interleave granules
+//! spread over bankgroups and banks to expose bank-level parallelism.
+
+/// Decomposed DRAM coordinates for one address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: u32,
+    /// Bankgroup index within the channel.
+    pub bankgroup: u32,
+    /// Bank index within the bankgroup.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+/// Hashed, fixed-granularity channel interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressMapping {
+    channels: u32,
+    bankgroups: u32,
+    banks_per_group: u32,
+    interleave_bytes: u64,
+    row_bytes: u64,
+    hashed: bool,
+}
+
+impl AddressMapping {
+    /// Creates a mapping with the paper's 256 B hashed channel interleaving.
+    ///
+    /// # Panics
+    /// Panics if any structural parameter is zero or `interleave_bytes` is
+    /// not a power of two.
+    pub fn new(
+        channels: u32,
+        bankgroups: u32,
+        banks_per_group: u32,
+        interleave_bytes: u64,
+        row_bytes: u64,
+        hashed: bool,
+    ) -> Self {
+        assert!(channels > 0 && bankgroups > 0 && banks_per_group > 0);
+        assert!(
+            interleave_bytes.is_power_of_two(),
+            "interleave granularity must be a power of two"
+        );
+        assert!(row_bytes.is_power_of_two());
+        Self {
+            channels,
+            bankgroups,
+            banks_per_group,
+            interleave_bytes,
+            row_bytes,
+            hashed,
+        }
+    }
+
+    /// Builds the mapping from a [`DramConfig`](crate::DramConfig) with the
+    /// paper's defaults (256 B granularity, hashing on).
+    pub fn for_config(cfg: &crate::DramConfig) -> Self {
+        Self::new(
+            cfg.channels,
+            cfg.bankgroups,
+            cfg.banks_per_group,
+            256,
+            cfg.row_bytes,
+            true,
+        )
+    }
+
+    /// XOR-folds the granule index to pseudo-randomize channel assignment,
+    /// breaking power-of-two stride pathologies (Rau [114]).
+    fn hash_granule(&self, granule: u64) -> u64 {
+        if !self.hashed {
+            return granule;
+        }
+        let mut x = granule;
+        x ^= x >> 7;
+        x ^= x >> 13;
+        x ^= x >> 23;
+        x
+    }
+
+    /// The channel an address maps to.
+    pub fn channel(&self, addr: u64) -> u32 {
+        let granule = addr / self.interleave_bytes;
+        (self.hash_granule(granule) % self.channels as u64) as u32
+    }
+
+    /// Full DRAM coordinates for an address.
+    pub fn decompose(&self, addr: u64) -> DramCoord {
+        let granule = addr / self.interleave_bytes;
+        let hashed = self.hash_granule(granule);
+        let channel = (hashed % self.channels as u64) as u32;
+        // Channel-local granule index: consecutive granules on a channel walk
+        // bankgroups first (so tCCD_S applies), then banks, then rows.
+        let local = granule / self.channels as u64;
+        let bankgroup = (local % self.bankgroups as u64) as u32;
+        let bank = ((local / self.bankgroups as u64) % self.banks_per_group as u64) as u32;
+        let granules_per_row = (self.row_bytes / self.interleave_bytes).max(1);
+        let row = local / (self.bankgroups as u64 * self.banks_per_group as u64) / granules_per_row;
+        DramCoord {
+            channel,
+            bankgroup,
+            bank,
+            row,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Interleave granularity in bytes.
+    pub fn interleave_bytes(&self) -> u64 {
+        self.interleave_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(32, 4, 4, 256, 2048, true)
+    }
+
+    #[test]
+    fn same_granule_same_channel() {
+        let m = mapping();
+        let base = 0x4_0000u64;
+        let c = m.channel(base);
+        for off in 0..256 {
+            assert_eq!(m.channel(base + off), c);
+        }
+        // Next granule will usually differ (hash), but must stay in range.
+        assert!(m.channel(base + 256) < 32);
+    }
+
+    #[test]
+    fn sequential_stream_balances_channels() {
+        let m = mapping();
+        let mut counts = [0u32; 32];
+        for g in 0..32 * 64 {
+            counts[m.channel(g * 256) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        // Hashing keeps the spread tight for a dense sequential sweep.
+        assert!(max - min <= 32, "imbalance: min {min} max {max}");
+        assert!(min > 0);
+    }
+
+    #[test]
+    fn power_of_two_stride_does_not_camp_on_one_channel() {
+        let m = mapping();
+        // Stride of channels*interleave would hit one channel if unhashed.
+        let stride = 32 * 256u64;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            seen.insert(m.channel(i * stride));
+        }
+        assert!(
+            seen.len() > 8,
+            "hashed mapping should spread a pathological stride, got {} channels",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn unhashed_mapping_is_modular() {
+        let m = AddressMapping::new(4, 2, 2, 256, 2048, false);
+        assert_eq!(m.channel(0), 0);
+        assert_eq!(m.channel(256), 1);
+        assert_eq!(m.channel(512), 2);
+        assert_eq!(m.channel(1024), 0);
+    }
+
+    #[test]
+    fn decompose_fields_in_range() {
+        let m = mapping();
+        for i in 0..10_000u64 {
+            let c = m.decompose(i * 97 + 13);
+            assert!(c.channel < 32);
+            assert!(c.bankgroup < 4);
+            assert!(c.bank < 4);
+        }
+    }
+
+    #[test]
+    fn rows_advance_for_large_sweeps() {
+        let m = mapping();
+        // 32 ch * 16 banks * 8 granules/row * 256 B = 1 MiB per "row layer".
+        let a = m.decompose(0);
+        let b = m.decompose(4 << 20);
+        assert_ne!(a.row, b.row);
+    }
+}

@@ -1,0 +1,53 @@
+//! Simulation kernel primitives shared by every timing model in the M²NDP
+//! reproduction.
+//!
+//! This crate provides the small, deterministic building blocks that the
+//! cycle-level models (DRAM, caches, NoC, CXL links, NDP units, host cores)
+//! are assembled from:
+//!
+//! * [`Cycle`] / [`Frequency`] — time bookkeeping and clock-domain conversion,
+//! * [`BoundedQueue`] — FIFO with backpressure,
+//! * [`DelayPipe`] — fixed- or variable-latency delay lines,
+//! * [`BandwidthGate`] — byte/cycle throughput limiter used for links and
+//!   crossbar ports,
+//! * [`stats`] — counters and sample histograms (P50/P95/P99 queries),
+//! * [`rng`] — seeded random sources plus the Zipfian and exponential
+//!   samplers used by the workload generators,
+//! * [`EventQueue`] — a small discrete-event heap used by open-loop
+//!   request-arrival simulations (e.g. the KVStore tail-latency experiments).
+//!
+//! Everything here is deterministic: no wall-clock time, no global state, and
+//! all randomness flows from caller-provided seeds, so simulations are
+//! bit-reproducible (relied upon by the property tests across the workspace).
+//!
+//! # Example
+//!
+//! ```
+//! use m2ndp_sim::{BandwidthGate, Cycle, DelayPipe};
+//!
+//! // A 64 GB/s CXL direction at a 2 GHz device clock moves 32 B/cycle.
+//! let mut gate = BandwidthGate::new(32.0);
+//! let mut wire: DelayPipe<u32> = DelayPipe::new();
+//! let now: Cycle = 100;
+//! let depart = gate.earliest(now);
+//! gate.consume(depart, 256); // one 256 B flit
+//! wire.push_at(depart + 140, 7); // 70 ns one-way at 2 GHz
+//! assert_eq!(wire.pop_ready(depart + 140), Some(7));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod event;
+pub mod pipe;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use bandwidth::BandwidthGate;
+pub use event::EventQueue;
+pub use pipe::DelayPipe;
+pub use queue::BoundedQueue;
+pub use stats::{Counter, Histogram, RunningStat, TrafficStats};
+pub use time::{Cycle, Frequency};

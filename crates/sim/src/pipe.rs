@@ -1,0 +1,131 @@
+//! Delay lines: items become visible a fixed number of cycles after they are
+//! pushed.
+//!
+//! [`DelayPipe`] models wires, pipeline stages, and link traversal where the
+//! latency is known at push time. Ready times must be non-decreasing in push
+//! order (which holds whenever a component pushes with `now + constant`),
+//! keeping the implementation a plain ring buffer.
+
+use std::collections::VecDeque;
+
+use crate::time::Cycle;
+
+/// A FIFO whose items carry a "ready at" cycle.
+///
+/// # Example
+///
+/// ```
+/// use m2ndp_sim::DelayPipe;
+/// let mut p = DelayPipe::new();
+/// p.push_at(10, 'a');
+/// p.push_at(12, 'b');
+/// assert_eq!(p.pop_ready(9), None);
+/// assert_eq!(p.pop_ready(10), Some('a'));
+/// assert_eq!(p.pop_ready(11), None);
+/// assert_eq!(p.pop_ready(12), Some('b'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayPipe<T> {
+    items: VecDeque<(Cycle, T)>,
+}
+
+impl<T> DelayPipe<T> {
+    /// Creates an empty delay pipe.
+    pub fn new() -> Self {
+        Self {
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Schedules `item` to become visible at cycle `ready`.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `ready` is earlier than the ready time of the
+    /// most recently pushed item; monotonicity is what keeps pops `O(1)`.
+    pub fn push_at(&mut self, ready: Cycle, item: T) {
+        debug_assert!(
+            self.items.back().is_none_or(|(r, _)| *r <= ready),
+            "DelayPipe pushes must have non-decreasing ready cycles"
+        );
+        self.items.push_back((ready, item));
+    }
+
+    /// Pops the oldest item whose ready time has arrived.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        match self.items.front() {
+            Some((ready, _)) if *ready <= now => self.items.pop_front().map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Peeks at the oldest item whose ready time has arrived.
+    pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
+        match self.items.front() {
+            Some((ready, item)) if *ready <= now => Some(item),
+            _ => None,
+        }
+    }
+
+    /// The ready cycle of the oldest in-flight item, used by fast-forwarding
+    /// loops to find the next interesting cycle.
+    pub fn next_ready_cycle(&self) -> Option<Cycle> {
+        self.items.front().map(|(r, _)| *r)
+    }
+
+    /// Number of in-flight items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pipe holds no in-flight items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<T> Default for DelayPipe<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_invisible_before_ready() {
+        let mut p = DelayPipe::new();
+        p.push_at(100, 1u32);
+        for now in 0..100 {
+            assert_eq!(p.pop_ready(now), None);
+        }
+        assert_eq!(p.pop_ready(100), Some(1));
+    }
+
+    #[test]
+    fn same_cycle_items_pop_in_push_order() {
+        let mut p = DelayPipe::new();
+        p.push_at(5, 'x');
+        p.push_at(5, 'y');
+        assert_eq!(p.pop_ready(5), Some('x'));
+        assert_eq!(p.pop_ready(5), Some('y'));
+    }
+
+    #[test]
+    fn next_ready_cycle_reports_head() {
+        let mut p = DelayPipe::new();
+        assert_eq!(p.next_ready_cycle(), None);
+        p.push_at(42, ());
+        assert_eq!(p.next_ready_cycle(), Some(42));
+    }
+
+    #[test]
+    fn late_pop_still_returns_items_in_order() {
+        let mut p = DelayPipe::new();
+        p.push_at(1, 1);
+        p.push_at(2, 2);
+        assert_eq!(p.pop_ready(1000), Some(1));
+        assert_eq!(p.pop_ready(1000), Some(2));
+    }
+}

@@ -1,0 +1,139 @@
+//! Bounded FIFO queues with backpressure.
+//!
+//! Timing components communicate through [`BoundedQueue`]s: a producer that
+//! fails to `push` must retry on a later cycle, which is how structural
+//! hazards (full request queues, full response queues) propagate backwards
+//! through the models.
+
+use std::collections::VecDeque;
+
+/// A FIFO queue with a fixed capacity.
+///
+/// # Example
+///
+/// ```
+/// use m2ndp_sim::BoundedQueue;
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert_eq!(q.push(3), Err(3)); // full: item handed back
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue `item`, returning it back if the queue is full.
+    ///
+    /// # Errors
+    /// Returns `Err(item)` when the queue is at capacity, so callers can
+    /// retry on a later cycle without cloning.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether a `push` would currently fail.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The fixed capacity this queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over queued items from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes and returns the first item matching `pred`, preserving the
+    /// order of the rest. Used by out-of-order pickers such as FR-FCFS.
+    pub fn pop_first_match(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let idx = self.items.iter().position(|t| pred(t))?;
+        self.items.remove(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_to_full_queue_returns_item() {
+        let mut q = BoundedQueue::new(1);
+        q.push("a").unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push("b"), Err("b"));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_first_match_preserves_other_order() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_first_match(|&x| x % 3 == 2), Some(2));
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(rest, vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+}

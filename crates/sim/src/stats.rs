@@ -1,0 +1,300 @@
+//! Statistics collection: counters, running aggregates, and sample
+//! histograms with percentile queries.
+//!
+//! The evaluation reports tail latencies (P95 for the KVStore experiments of
+//! Figs. 1b, 10b and 11a), bandwidth utilizations and traffic breakdowns;
+//! these types are the backing store for all of them.
+
+use crate::time::Cycle;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use m2ndp_sim::Counter;
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one event.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Mean/min/max aggregate over a stream of `f64` observations.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStat {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStat {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// A sample-retaining histogram of cycle (or other `u64`) observations with
+/// exact percentile queries.
+///
+/// Stores every sample; the experiments record at most a few hundred
+/// thousand observations so exactness is affordable and avoids bucketing
+/// error in the reported tail latencies.
+///
+/// # Example
+///
+/// ```
+/// use m2ndp_sim::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.percentile(0.95), 100);
+/// assert_eq!(h.percentile(0.50), 50);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The exact `p`-quantile (0.0 ..= 1.0) using the nearest-rank method,
+    /// or 0 when empty.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        self.samples[rank - 1]
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Traffic and utilization statistics common to the memory-system models.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    /// Read bytes moved.
+    pub read_bytes: Counter,
+    /// Write bytes moved.
+    pub write_bytes: Counter,
+    /// Number of read transactions.
+    pub reads: Counter,
+    /// Number of write transactions.
+    pub writes: Counter,
+}
+
+impl TrafficStats {
+    /// Records one transaction.
+    pub fn record(&mut self, bytes: u64, write: bool) {
+        if write {
+            self.write_bytes.add(bytes);
+            self.writes.inc();
+        } else {
+            self.read_bytes.add(bytes);
+            self.reads.inc();
+        }
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes.get() + self.write_bytes.get()
+    }
+
+    /// Achieved bandwidth in bytes/cycle over `elapsed` cycles.
+    pub fn bytes_per_cycle(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn running_stat_tracks_extremes() {
+        let mut s = RunningStat::new();
+        for x in [3.0, -1.0, 7.0] {
+            s.record(x);
+        }
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.0);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn empty_stat_is_zero() {
+        let s = RunningStat::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.95), 95);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.percentile(0.0), 1); // rank clamps to 1
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(0.95), 0);
+    }
+
+    #[test]
+    fn percentile_after_interleaved_records() {
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.percentile(1.0), 5);
+        h.record(1);
+        assert_eq!(h.percentile(0.5), 1);
+    }
+
+    #[test]
+    fn traffic_stats_split_directions() {
+        let mut t = TrafficStats::default();
+        t.record(64, false);
+        t.record(32, true);
+        assert_eq!(t.read_bytes.get(), 64);
+        assert_eq!(t.write_bytes.get(), 32);
+        assert_eq!(t.total_bytes(), 96);
+        assert!((t.bytes_per_cycle(3) - 32.0).abs() < 1e-12);
+    }
+}

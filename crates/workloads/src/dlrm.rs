@@ -1,0 +1,261 @@
+//! DLRM Sparse-Length-Sum (SLS): embedding gather-reduce (Table V, [104]).
+//!
+//! The SLS operator sums `lookups` embedding rows per request. The µthread
+//! pool region is the *output* activation (§IV-B: "using the output vector
+//! of SLS as µthread pool region"): each µthread owns a 32 B slice of one
+//! request's output vector and gathers the matching slice of every looked-up
+//! embedding row — so µthreads never contend and no atomics are needed.
+
+use m2ndp_core::engine::argblock;
+use m2ndp_core::{KernelSpec, LaunchArgs};
+use m2ndp_mem::MainMemory;
+use m2ndp_riscv::assemble;
+use m2ndp_sim::rng::{seeded, Zipf};
+use rand::Rng;
+
+use crate::DATA_BASE;
+
+/// DLRM SLS configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DlrmConfig {
+    /// Embedding table rows (paper: 1M).
+    pub table_rows: u64,
+    /// Embedding dimension in f32 elements (paper: 256).
+    pub dim: u32,
+    /// Lookups per request (80, following RecNMP [77]).
+    pub lookups: u32,
+    /// Requests in the batch (4 / 32 / 256 in Fig. 10c).
+    pub batch: u32,
+    /// Zipf skew of embedding indices (Criteo-like popularity).
+    pub zipf_theta: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DlrmConfig {
+    /// Seconds-scale default (smaller table and dim, same access shape).
+    pub fn default_scaled(batch: u32) -> Self {
+        Self {
+            table_rows: 128 << 10,
+            dim: 64,
+            lookups: 80,
+            batch,
+            zipf_theta: 0.9,
+            seed: 0xD12A,
+        }
+    }
+
+    /// The paper's table: 1M 256-dim vectors.
+    pub fn paper_full(batch: u32) -> Self {
+        Self {
+            table_rows: 1 << 20,
+            dim: 256,
+            lookups: 80,
+            batch,
+            zipf_theta: 0.9,
+            seed: 0xD12A,
+        }
+    }
+
+    /// Bytes per embedding row.
+    pub fn row_bytes(&self) -> u64 {
+        self.dim as u64 * 4
+    }
+}
+
+/// Generated SLS data locations.
+#[derive(Debug, Clone, Copy)]
+pub struct DlrmData {
+    /// Configuration.
+    pub cfg: DlrmConfig,
+    /// Embedding table base (row-major f32).
+    pub table_base: u64,
+    /// Lookup indices (i64, `batch × lookups`).
+    pub indices_base: u64,
+    /// Output activations (f32, `batch × dim`) — the µthread pool region.
+    pub output_base: u64,
+}
+
+/// Generates the embedding table and a Zipf-skewed lookup trace.
+pub fn generate(cfg: DlrmConfig, mem: &mut MainMemory) -> DlrmData {
+    let mut rng = seeded(cfg.seed);
+    let table_base = DATA_BASE + 0x4000_0000;
+    let indices_base = table_base + cfg.table_rows * cfg.row_bytes() + 4096;
+    let output_base = indices_base + cfg.batch as u64 * cfg.lookups as u64 * 8 + 4096;
+
+    // Table values: hash-derived so generation is O(table) without RNG
+    // state dependence; values only matter for verification.
+    for r in 0..cfg.table_rows {
+        for d in 0..cfg.dim as u64 {
+            let h = (r.wrapping_mul(0x9E3779B9) ^ d.wrapping_mul(0x85EBCA6B)) & 0xFFFF;
+            mem.write_f32(
+                table_base + r * cfg.row_bytes() + d * 4,
+                h as f32 / 65536.0,
+            );
+        }
+    }
+    let zipf = Zipf::new(cfg.table_rows, cfg.zipf_theta);
+    for i in 0..(cfg.batch as u64 * cfg.lookups as u64) {
+        let idx = zipf.sample(&mut rng);
+        mem.write_u64(indices_base + i * 8, idx);
+    }
+    for i in 0..(cfg.batch as u64 * cfg.dim as u64) {
+        mem.write_f32(output_base + i * 4, 0.0);
+    }
+    let _ = rng.gen::<u32>();
+    DlrmData {
+        cfg,
+        table_base,
+        indices_base,
+        output_base,
+    }
+}
+
+/// Builds the SLS kernel. User args: `[0]=table_base, [1]=indices_base,
+/// [2]=row_bytes, [3]=lookups`.
+pub fn kernel() -> KernelSpec {
+    let a = |i: u64| (argblock::USER as u64 + i) * 8;
+    let body = assemble(&format!(
+        "ld x5, {a0}(x3)      // table base
+         ld x6, {a1}(x3)      // indices base
+         ld x7, {a2}(x3)      // row bytes
+         ld x8, {a3}(x3)      // lookups
+         divu x9, x2, x7      // request index
+         remu x10, x2, x7     // byte offset within the output row
+         // index cursor = indices + req*lookups*8
+         mul x11, x9, x8
+         slli x11, x11, 3
+         add x11, x6, x11
+         vsetvli x0, x0, e32, m1
+         vmv.v.i v4, 0        // 8-lane accumulator
+         mv x12, x8
+         lk_loop:
+         beqz x12, done
+         ld x13, (x11)        // embedding row index
+         mul x14, x13, x7
+         add x14, x14, x10    // + our slice offset
+         add x14, x5, x14
+         vle32.v v1, (x14)    // 32 B slice of the row
+         vfadd.vv v4, v4, v1
+         addi x11, x11, 8
+         addi x12, x12, -1
+         j lk_loop
+         done:
+         vse32.v v4, (x1)     // output slice (pool region)
+         halt",
+        a0 = a(0),
+        a1 = a(1),
+        a2 = a(2),
+        a3 = a(3),
+    ))
+    .expect("dlrm kernel assembles");
+    KernelSpec::body_only("dlrm_sls", body)
+}
+
+/// Launch arguments over the output pool region.
+pub fn launch(data: &DlrmData, kernel_id: m2ndp_core::KernelId) -> LaunchArgs {
+    let out_bytes = data.cfg.batch as u64 * data.cfg.dim as u64 * 4;
+    LaunchArgs::new(kernel_id, data.output_base, data.output_base + out_bytes).with_args(vec![
+        data.table_base,
+        data.indices_base,
+        data.cfg.row_bytes(),
+        data.cfg.lookups as u64,
+    ])
+}
+
+/// Host reference SLS.
+pub fn reference(data: &DlrmData, mem: &MainMemory) -> Vec<f32> {
+    let cfg = &data.cfg;
+    let mut out = vec![0f32; (cfg.batch * cfg.dim) as usize];
+    for req in 0..cfg.batch as u64 {
+        for l in 0..cfg.lookups as u64 {
+            let idx = mem.read_u64(data.indices_base + (req * cfg.lookups as u64 + l) * 8);
+            for d in 0..cfg.dim as u64 {
+                out[(req * cfg.dim as u64 + d) as usize] +=
+                    mem.read_f32(data.table_base + idx * cfg.row_bytes() + d * 4);
+            }
+        }
+    }
+    out
+}
+
+/// Verifies the device SLS output.
+///
+/// # Errors
+/// Returns the first element out of tolerance.
+pub fn verify(data: &DlrmData, mem: &MainMemory) -> Result<(), String> {
+    let expect = reference(data, mem);
+    for (i, &e) in expect.iter().enumerate() {
+        let got = mem.read_f32(data.output_base + i as u64 * 4);
+        let tol = 1e-3f32.max(e.abs() * 1e-4);
+        if (got - e).abs() > tol {
+            return Err(format!("output {i}: got {got}, expected {e}"));
+        }
+    }
+    Ok(())
+}
+
+/// Bytes one SLS batch touches (embedding reads dominate).
+pub fn bytes_touched(cfg: &DlrmConfig) -> u64 {
+    cfg.batch as u64 * cfg.lookups as u64 * cfg.row_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_in_range_and_skewed() {
+        let mut mem = MainMemory::new();
+        let cfg = DlrmConfig {
+            table_rows: 10_000,
+            dim: 16,
+            lookups: 80,
+            batch: 8,
+            zipf_theta: 0.9,
+            seed: 1,
+        };
+        let data = generate(cfg, &mut mem);
+        let mut head = 0;
+        for i in 0..(cfg.batch * cfg.lookups) as u64 {
+            let idx = mem.read_u64(data.indices_base + i * 8);
+            assert!(idx < cfg.table_rows);
+            if idx < 100 {
+                head += 1;
+            }
+        }
+        assert!(head > 50, "zipf head {head}");
+    }
+
+    #[test]
+    fn reference_sums_lookups() {
+        let mut mem = MainMemory::new();
+        let cfg = DlrmConfig {
+            table_rows: 64,
+            dim: 8,
+            lookups: 4,
+            batch: 2,
+            zipf_theta: 0.5,
+            seed: 2,
+        };
+        let data = generate(cfg, &mut mem);
+        let out = reference(&data, &mem);
+        // Recompute request 1, dim 3 by hand.
+        let mut acc = 0f32;
+        for l in 0..4u64 {
+            let idx = mem.read_u64(data.indices_base + (4 + l) * 8);
+            acc += mem.read_f32(data.table_base + idx * 32 + 12);
+        }
+        assert!((out[8 + 3] - acc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_uses_no_atomics() {
+        let k = kernel();
+        assert!(k
+            .body
+            .instrs()
+            .iter()
+            .all(|i| !matches!(i, m2ndp_riscv::Instr::Amo { .. })));
+    }
+}

@@ -1,0 +1,255 @@
+//! HISTO: histogram of a large integer array (Table V; CUDA samples [105]).
+//!
+//! The M²NDP kernel exercises the paper's scratchpad story (§III-D, A3 and
+//! Fig. 6b): the initializer zeroes per-unit scratchpad bins, the body
+//! vector-gathers its 32 B granule and scatter-adds into the scratchpad with
+//! vector AMOs [12], and the finalizer flushes each unit's private bins to
+//! the global histogram with global atomics. Under the GPU-mode engine the
+//! same kernel runs with *threadblock-scoped* scratchpad, multiplying the
+//! init/flush traffic by the TB count — the effect Fig. 6b measures.
+
+use m2ndp_core::engine::argblock;
+use m2ndp_core::{KernelSpec, LaunchArgs};
+use m2ndp_mem::MainMemory;
+use m2ndp_riscv::assemble;
+use m2ndp_sim::rng::seeded;
+use rand::Rng;
+
+use crate::DATA_BASE;
+
+/// HISTO configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoConfig {
+    /// Number of 32-bit input elements (paper: 16M).
+    pub elements: u64,
+    /// Histogram bins: 256 or 4096 (Table V).
+    pub bins: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl HistoConfig {
+    /// Seconds-scale default (paper shape, reduced element count).
+    pub fn default_scaled(bins: u32) -> Self {
+        Self {
+            elements: 1 << 21, // 2M elements
+            bins,
+            seed: 0x1517,
+        }
+    }
+
+    /// The paper's full input (16M INT32).
+    pub fn paper_full(bins: u32) -> Self {
+        Self {
+            elements: 16 << 20,
+            bins,
+            seed: 0x1517,
+        }
+    }
+
+    /// Bit shift mapping a u32 value onto a bin; bins must be a power of
+    /// two.
+    pub fn shift(&self) -> u32 {
+        assert!(self.bins.is_power_of_two());
+        32 - self.bins.trailing_zeros()
+    }
+}
+
+/// Generated data locations.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoData {
+    /// Configuration used.
+    pub cfg: HistoConfig,
+    /// Input array base.
+    pub input_base: u64,
+    /// Global histogram base (u32 per bin).
+    pub bins_base: u64,
+}
+
+/// Populates the functional memory with the input array and zeroed bins.
+pub fn generate(cfg: HistoConfig, mem: &mut MainMemory) -> HistoData {
+    let input_base = DATA_BASE;
+    let bins_base = input_base + cfg.elements * 4 + 4096;
+    let mut rng = seeded(cfg.seed);
+    let mut buf = Vec::with_capacity(4096);
+    let mut addr = input_base;
+    for _ in 0..cfg.elements {
+        buf.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
+        if buf.len() == 4096 {
+            mem.write_bytes(addr, &buf);
+            addr += 4096;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        mem.write_bytes(addr, &buf);
+    }
+    for b in 0..cfg.bins {
+        mem.write_u32(bins_base + b as u64 * 4, 0);
+    }
+    HistoData {
+        cfg,
+        input_base,
+        bins_base,
+    }
+}
+
+/// Builds the HISTO kernel.
+///
+/// User argument words: `[0]=nbins, [1]=shift, [2]=global bins base,
+/// [3]=units` (units = real NDP units, or 1 for TB-scoped GPU launches,
+/// where every TB initializes/flushes its own scratchpad copy).
+pub fn kernel(cfg: HistoConfig) -> KernelSpec {
+    let a0 = (argblock::USER * 8) as u64; // nbins
+    let a1 = a0 + 8; // shift
+    let a2 = a0 + 16; // global bins
+    let a3 = a0 + 24; // units
+    let init = assemble(&format!(
+        "ld x4, (x3)          // spad base VA
+         ld x5, {a0}(x3)      // nbins
+         ld x6, 8(x3)         // init thread count (total slots)
+         ld x7, {a3}(x3)      // units
+         divu x8, x2, x7      // local id within unit
+         divu x9, x6, x7      // threads per unit
+         // stripe: for (i = local; i < nbins; i += per_unit) spad_bins[i]=0
+         mv x10, x8
+         zloop: bge x10, x5, zdone
+         slli x11, x10, 2
+         add x12, x4, x11
+         sw x0, (x12)
+         add x10, x10, x9
+         j zloop
+         zdone: halt"
+    ))
+    .expect("histo init assembles");
+    let body = assemble(&format!(
+        "vsetvli x0, x0, e32, m1
+         vle32.v v1, (x1)     // 8 input elements
+         ld x6, {a1}(x3)      // shift
+         vsrl.vx v1, v1, x6   // bin index
+         vsll.vi v1, v1, 2    // byte offset
+         ld x4, (x3)          // spad base (bins at offset 0)
+         vmv.v.i v2, 1
+         vamoaddei32.v v2, (x4), v1
+         halt"
+    ))
+    .expect("histo body assembles");
+    let fini = assemble(&format!(
+        "ld x4, (x3)
+         ld x5, {a0}(x3)      // nbins
+         ld x6, 8(x3)
+         ld x7, {a3}(x3)
+         divu x8, x2, x7      // local id
+         divu x9, x6, x7      // per-unit count
+         ld x13, {a2}(x3)     // global bins base
+         mv x10, x8
+         floop: bge x10, x5, fdone
+         slli x11, x10, 2
+         add x12, x4, x11
+         lw x14, (x12)
+         beqz x14, fskip      // nothing counted in this bin here
+         add x15, x13, x11
+         amoadd.w x14, x14, (x15)
+         fskip: add x10, x10, x9
+         j floop
+         fdone: halt"
+    ))
+    .expect("histo fini assembles");
+    let spad_bytes = cfg.bins * 4;
+    KernelSpec::from_programs("histo", Some(init), body, Some(fini), spad_bytes)
+}
+
+/// Launch arguments for a generated dataset on an engine with `units` units
+/// (pass 1 for TB-scoped GPU-mode launches).
+pub fn launch(data: &HistoData, kernel_id: m2ndp_core::KernelId, units: u32) -> LaunchArgs {
+    LaunchArgs::new(
+        kernel_id,
+        data.input_base,
+        data.input_base + data.cfg.elements * 4,
+    )
+    .with_args(vec![
+        data.cfg.bins as u64,
+        data.cfg.shift() as u64,
+        data.bins_base,
+        units as u64,
+    ])
+}
+
+/// Reference histogram on the host.
+pub fn reference(data: &HistoData, mem: &MainMemory) -> Vec<u32> {
+    let mut bins = vec![0u32; data.cfg.bins as usize];
+    for i in 0..data.cfg.elements {
+        let v = mem.read_u32(data.input_base + i * 4);
+        bins[(v >> data.cfg.shift()) as usize] += 1;
+    }
+    bins
+}
+
+/// Verifies the device-produced histogram.
+///
+/// # Errors
+/// Returns the first mismatching bin.
+pub fn verify(data: &HistoData, mem: &MainMemory) -> Result<(), String> {
+    let expect = reference(data, mem);
+    for (b, &e) in expect.iter().enumerate() {
+        let got = mem.read_u32(data.bins_base + b as u64 * 4);
+        if got != e {
+            return Err(format!("bin {b}: got {got}, expected {e}"));
+        }
+    }
+    Ok(())
+}
+
+/// Bytes the sweep touches (for host baselines and rooflines).
+pub fn bytes_touched(cfg: &HistoConfig) -> u64 {
+    cfg.elements * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = MainMemory::new();
+        let mut b = MainMemory::new();
+        let cfg = HistoConfig {
+            elements: 1000,
+            bins: 256,
+            seed: 5,
+        };
+        generate(cfg, &mut a);
+        generate(cfg, &mut b);
+        assert_eq!(a.read_u32(DATA_BASE + 400), b.read_u32(DATA_BASE + 400));
+    }
+
+    #[test]
+    fn reference_counts_all_elements() {
+        let mut mem = MainMemory::new();
+        let cfg = HistoConfig {
+            elements: 4096,
+            bins: 256,
+            seed: 7,
+        };
+        let data = generate(cfg, &mut mem);
+        let r = reference(&data, &mem);
+        assert_eq!(r.iter().map(|&x| x as u64).sum::<u64>(), 4096);
+    }
+
+    #[test]
+    fn kernel_assembles_with_modest_registers() {
+        let k = kernel(HistoConfig::default_scaled(256));
+        assert!(k.int_regs <= 16, "int regs {}", k.int_regs);
+        assert!(k.vector_regs <= 4);
+        assert_eq!(k.spad_bytes, 256 * 4);
+    }
+
+    #[test]
+    fn shift_maps_full_range_onto_bins() {
+        let cfg = HistoConfig::default_scaled(4096);
+        assert_eq!(cfg.shift(), 20);
+        assert_eq!(u32::MAX >> cfg.shift(), 4095);
+        let cfg = HistoConfig::default_scaled(256);
+        assert_eq!(u32::MAX >> cfg.shift(), 255);
+    }
+}

@@ -1,0 +1,277 @@
+//! SPMV: sparse matrix–vector multiply over a CSR matrix (Table V, from the
+//! PIM benchmark study [56]).
+//!
+//! The µthread pool region is the row-pointer array (§IV-B: "we use the
+//! address range of the row pointers"), so each µthread owns the 4 rows
+//! whose `row_ptr` entries fall in its 32 B granule. The body mixes scalar
+//! bookkeeping (row bounds, loop control — the A1 advantage over SIMT-only
+//! GPUs) with vector gathers of `x[col]` and fused multiply-accumulates.
+
+use m2ndp_core::engine::argblock;
+use m2ndp_core::{KernelSpec, LaunchArgs};
+use m2ndp_mem::MainMemory;
+use m2ndp_riscv::assemble;
+use m2ndp_sim::rng::seeded;
+use rand::Rng;
+
+use crate::DATA_BASE;
+
+/// SPMV / CSR configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmvConfig {
+    /// Matrix rows (== columns).
+    pub rows: u64,
+    /// Average non-zeros per row.
+    pub nnz_per_row: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl SpmvConfig {
+    /// Seconds-scale default preserving the paper's ~36 nnz/row shape.
+    pub fn default_scaled() -> Self {
+        Self {
+            rows: 8 << 10,
+            nnz_per_row: 36,
+            seed: 0x5137,
+        }
+    }
+
+    /// The paper's input: 28924 nodes, 1036208 edges.
+    pub fn paper_full() -> Self {
+        Self {
+            rows: 28_924,
+            nnz_per_row: 36,
+            seed: 0x5137,
+        }
+    }
+}
+
+/// Generated CSR matrix + vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct SpmvData {
+    /// Configuration.
+    pub cfg: SpmvConfig,
+    /// Row pointer array (i64, rows+1 entries) — the µthread pool region.
+    pub row_ptr_base: u64,
+    /// Column index array (i32).
+    pub col_base: u64,
+    /// Value array (f32).
+    pub val_base: u64,
+    /// Dense input vector (f32).
+    pub x_base: u64,
+    /// Output vector (f32).
+    pub y_base: u64,
+    /// Total non-zeros.
+    pub nnz: u64,
+}
+
+/// Generates a random CSR matrix with ~`nnz_per_row` entries per row
+/// (row degree varies 0..2×avg for irregularity) and a dense vector.
+pub fn generate(cfg: SpmvConfig, mem: &mut MainMemory) -> SpmvData {
+    let mut rng = seeded(cfg.seed);
+    let row_ptr_base = DATA_BASE + 0x1000_0000;
+    let mut nnz = 0u64;
+    let mut row_ptrs = Vec::with_capacity(cfg.rows as usize + 1);
+    row_ptrs.push(0u64);
+    for _ in 0..cfg.rows {
+        let deg = rng.gen_range(0..=2 * cfg.nnz_per_row) as u64;
+        nnz += deg;
+        row_ptrs.push(nnz);
+    }
+    let col_base = row_ptr_base + (cfg.rows + 1) * 8 + 4096;
+    let val_base = col_base + nnz * 4 + 4096;
+    let x_base = val_base + nnz * 4 + 4096;
+    let y_base = x_base + cfg.rows * 4 + 4096;
+
+    for (i, rp) in row_ptrs.iter().enumerate() {
+        mem.write_u64(row_ptr_base + i as u64 * 8, *rp);
+    }
+    for e in 0..nnz {
+        mem.write_u32(col_base + e * 4, rng.gen_range(0..cfg.rows) as u32);
+        mem.write_f32(val_base + e * 4, rng.gen_range(-1.0f32..1.0));
+    }
+    for i in 0..cfg.rows {
+        mem.write_f32(x_base + i * 4, rng.gen_range(-1.0f32..1.0));
+        mem.write_f32(y_base + i * 4, 0.0);
+    }
+    SpmvData {
+        cfg,
+        row_ptr_base,
+        col_base,
+        val_base,
+        x_base,
+        y_base,
+        nnz,
+    }
+}
+
+/// Builds the SPMV kernel. User args: `[0]=col_base, [1]=val_base,
+/// [2]=x_base, [3]=y_base, [4]=rows`.
+pub fn kernel() -> KernelSpec {
+    let a = |i: u64| (argblock::USER as u64 + i) * 8;
+    let (a0, a1, a2, a3, a4) = (a(0), a(1), a(2), a(3), a(4));
+    let body = assemble(&format!(
+        "ld x5, {a0}(x3)      // col base
+         ld x6, {a1}(x3)      // val base
+         ld x7, {a2}(x3)      // x base
+         ld x8, {a3}(x3)      // y base
+         ld x9, {a4}(x3)      // rows
+         srli x10, x2, 3      // first row of this granule
+         li x11, 4            // rows per 32 B of row_ptr
+         mv x19, x1           // cursor into row_ptr
+         row_loop:
+         bge x10, x9, done
+         beqz x11, done
+         ld x12, (x19)        // row start
+         ld x13, 8(x19)       // row end
+         sub x14, x13, x12    // nnz in row
+         vsetvli x0, x0, e32, m1
+         vmv.v.i v4, 0        // accumulator lanes
+         nnz_loop:
+         blez x14, row_done
+         vsetvli x15, x14, e32, m1
+         slli x16, x12, 2
+         add x17, x5, x16
+         vle32.v v1, (x17)    // column indices
+         add x18, x6, x16
+         vle32.v v2, (x18)    // values
+         vsll.vi v1, v1, 2    // byte offsets into x
+         vluxei32.v v3, (x7), v1
+         vfmacc.vv v4, v2, v3 // v4 += val * x[col]
+         sub x14, x14, x15
+         add x12, x12, x15
+         j nnz_loop
+         row_done:
+         vsetvli x0, x0, e32, m1
+         vmv.v.i v5, 0
+         vfredusum.vs v6, v4, v5
+         vfmv.f.s fa0, v6
+         slli x16, x10, 2
+         add x17, x8, x16
+         fsw fa0, (x17)
+         addi x10, x10, 1
+         addi x19, x19, 8
+         addi x11, x11, -1
+         j row_loop
+         done: halt"
+    ))
+    .expect("spmv kernel assembles");
+    KernelSpec::body_only("spmv", body)
+}
+
+/// Launch arguments over the row-pointer pool region.
+pub fn launch(data: &SpmvData, kernel_id: m2ndp_core::KernelId) -> LaunchArgs {
+    LaunchArgs::new(
+        kernel_id,
+        data.row_ptr_base,
+        data.row_ptr_base + data.cfg.rows * 8, // last granule guards via rows arg
+    )
+    .with_args(vec![
+        data.col_base,
+        data.val_base,
+        data.x_base,
+        data.y_base,
+        data.cfg.rows,
+    ])
+}
+
+/// Host reference y = A·x.
+pub fn reference(data: &SpmvData, mem: &MainMemory) -> Vec<f32> {
+    let mut y = vec![0f32; data.cfg.rows as usize];
+    for r in 0..data.cfg.rows {
+        let start = mem.read_u64(data.row_ptr_base + r * 8);
+        let end = mem.read_u64(data.row_ptr_base + (r + 1) * 8);
+        let mut acc = 0f32;
+        for e in start..end {
+            let c = mem.read_u32(data.col_base + e * 4) as u64;
+            let v = mem.read_f32(data.val_base + e * 4);
+            acc += v * mem.read_f32(data.x_base + c * 4);
+        }
+        y[r as usize] = acc;
+    }
+    y
+}
+
+/// Verifies the device output against the reference within a relative
+/// tolerance (summation order differs between lanes and the reference).
+///
+/// # Errors
+/// Returns the first row out of tolerance.
+pub fn verify(data: &SpmvData, mem: &MainMemory) -> Result<(), String> {
+    let expect = reference(data, mem);
+    for (r, &e) in expect.iter().enumerate() {
+        let got = mem.read_f32(data.y_base + r as u64 * 4);
+        let tol = 1e-3f32.max(e.abs() * 1e-3);
+        if (got - e).abs() > tol {
+            return Err(format!("row {r}: got {got}, expected {e}"));
+        }
+    }
+    Ok(())
+}
+
+/// Bytes one SPMV sweep touches.
+pub fn bytes_touched(data: &SpmvData) -> u64 {
+    (data.cfg.rows + 1) * 8 + data.nnz * 8 + data.cfg.rows * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_is_well_formed() {
+        let mut mem = MainMemory::new();
+        let data = generate(
+            SpmvConfig {
+                rows: 256,
+                nnz_per_row: 8,
+                seed: 3,
+            },
+            &mut mem,
+        );
+        let mut prev = 0;
+        for r in 0..=data.cfg.rows {
+            let rp = mem.read_u64(data.row_ptr_base + r * 8);
+            assert!(rp >= prev, "row_ptr must be non-decreasing");
+            prev = rp;
+        }
+        assert_eq!(prev, data.nnz);
+        for e in 0..data.nnz {
+            assert!((mem.read_u32(data.col_base + e * 4) as u64) < data.cfg.rows);
+        }
+    }
+
+    #[test]
+    fn reference_matches_manual_row() {
+        let mut mem = MainMemory::new();
+        let data = generate(
+            SpmvConfig {
+                rows: 64,
+                nnz_per_row: 4,
+                seed: 9,
+            },
+            &mut mem,
+        );
+        let y = reference(&data, &mem);
+        // Recompute row 10 by hand.
+        let s = mem.read_u64(data.row_ptr_base + 10 * 8);
+        let e = mem.read_u64(data.row_ptr_base + 11 * 8);
+        let mut acc = 0f32;
+        for k in s..e {
+            let c = mem.read_u32(data.col_base + k * 4) as u64;
+            acc += mem.read_f32(data.val_base + k * 4) * mem.read_f32(data.x_base + c * 4);
+        }
+        assert!((y[10] - acc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_mixes_scalar_and_vector() {
+        let k = kernel();
+        let instrs = k.body.instrs();
+        let scalars = instrs.iter().filter(|i| !i.is_vector()).count();
+        let vectors = instrs.iter().filter(|i| i.is_vector()).count();
+        assert!(scalars > 10, "scalar bookkeeping expected");
+        assert!(vectors >= 8, "vector gathers expected");
+    }
+}

@@ -1,0 +1,56 @@
+//! OLAP offload: runs the TPC-H Q6 filter Evaluate phase on the NDP device
+//! and compares against the host-baseline model (the Fig. 10a experiment,
+//! one query).
+//!
+//! ```text
+//! cargo run --release --example olap_offload
+//! ```
+
+use m2ndp::host::cpu::{DataHome, HostCpu, HostCpuConfig};
+use m2ndp::workloads::olap;
+use m2ndp::SystemBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut device = SystemBuilder::m2ndp().units(8).build();
+    let cfg = olap::OlapConfig {
+        rows: 1 << 20,
+        seed: 42,
+    };
+    let data = olap::generate(cfg, device.memory_mut());
+    let q6 = &olap::queries()[0];
+    println!(
+        "{}: {} predicates over {} rows",
+        q6.name,
+        q6.predicates.len(),
+        cfg.rows
+    );
+
+    let kid = device.register_kernel(olap::evaluate_kernel());
+    let start = device.now();
+    for launch in olap::evaluate_launches(&data, q6, kid) {
+        let inst = device.launch(launch)?;
+        device.run_until_finished(inst);
+    }
+    let cycles = device.now() - start;
+    olap::verify(&data, q6, device.memory()).map_err(std::io::Error::other)?;
+
+    let m2_ns = device.config().engine.freq.ns_from_cycles(cycles);
+    let sel = olap::selectivity(&data, q6, device.memory());
+    println!(
+        "Evaluate on M2NDP: {:.0} us, selectivity {:.2}% (TPC-H Q6 is ~2%)",
+        m2_ns / 1e3,
+        sel * 100.0
+    );
+
+    // Host baseline: one core sweeping columns over the CXL link.
+    let host = HostCpu::new(HostCpuConfig::default());
+    let bytes = olap::evaluate_bytes(&data, q6);
+    let baseline_ns = host.stream_runtime_ns(bytes, bytes / 4, DataHome::CxlExpander)
+        * (host.config().cores as f64); // single core: undo the all-core scaling
+    println!(
+        "host baseline Evaluate: {:.0} us -> M2NDP speedup {:.0}x (paper: 95-141x per query)",
+        baseline_ns / 1e3,
+        baseline_ns / m2_ns
+    );
+    Ok(())
+}

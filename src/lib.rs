@@ -1,0 +1,175 @@
+//! # M²NDP — Memory-Mapped Near-Data Processing in CXL Memory Expanders
+//!
+//! A from-scratch Rust reproduction of the MICRO 2024 paper
+//! *"Low-overhead General-purpose Near-Data Processing in CXL Memory
+//! Expanders"* (Ham et al., arXiv:2404.19381): a cycle-level simulator for
+//! CXL memory expanders with general-purpose NDP, including every substrate
+//! the evaluation depends on.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`sim`] | simulation primitives (queues, delay pipes, bandwidth gates, stats, RNG) |
+//! | [`mem`] | DRAM timing (LPDDR5/DDR5/HBM2), FR-FCFS controllers, functional memory |
+//! | [`cache`] | sectored caches, MSHRs, scratchpads |
+//! | [`noc`] | crossbar interconnect |
+//! | [`cxl`] | CXL.mem links, CXL.io costs, the M²func packet filter, switch, back-invalidation |
+//! | [`riscv`] | the NDP ISA: RV64IMAFD+V subset, assembler, functional executor |
+//! | [`core`] | **the paper's contribution**: M²func management + the M²µthread engine + the CXL-M²NDP device |
+//! | [`host`] | host CPU model, offload mechanisms, roofline, prior-work stand-ins |
+//! | [`workloads`] | Table V workloads: OLAP, KVStore, HISTO, SPMV, PGRANK, SSSP, DLRM, OPT |
+//! | [`energy`] | energy and area models (§IV-E/F) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use m2ndp::core::{CxlM2ndpDevice, KernelSpec, LaunchArgs, M2ndpConfig};
+//! use m2ndp::riscv::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small CXL-M²NDP device (4 NDP units to keep the doctest quick).
+//! let mut cfg = M2ndpConfig::default_device();
+//! cfg.engine.units = 4;
+//! let mut device = CxlM2ndpDevice::new(cfg);
+//!
+//! // C = A + A over a vector in device memory: each µthread owns the 32 B
+//! // granule its x1 register points at (memory-mapped µthreads, §III-D).
+//! let body = assemble(
+//!     "vsetvli x0, x0, e32, m1
+//!      vle32.v v1, (x1)
+//!      vadd.vv v1, v1, v1
+//!      vse32.v v1, (x1)
+//!      halt",
+//! )?;
+//! let base = 0x4000_0000u64;
+//! for i in 0..1024u64 {
+//!     device.memory_mut().write_u32(base + i * 4, i as u32);
+//! }
+//! let kid = device.register_kernel(KernelSpec::body_only("double", body));
+//! let inst = device.launch(LaunchArgs::new(kid, base, base + 1024 * 4))?;
+//! let finished_at = device.run_until_finished(inst);
+//! assert!(finished_at > 0);
+//! assert_eq!(device.memory().read_u32(base + 40), 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use m2ndp_cache as cache;
+pub use m2ndp_core as core;
+pub use m2ndp_cxl as cxl;
+pub use m2ndp_energy as energy;
+pub use m2ndp_host as host;
+pub use m2ndp_mem as mem;
+pub use m2ndp_noc as noc;
+pub use m2ndp_riscv as riscv;
+pub use m2ndp_sim as sim;
+pub use m2ndp_workloads as workloads;
+
+use m2ndp_core::{CxlM2ndpDevice, M2ndpConfig};
+use m2ndp_sim::Frequency;
+
+/// Convenience builder for the systems the evaluation compares.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    cfg: M2ndpConfig,
+    remote: Option<M2ndpConfig>,
+}
+
+impl SystemBuilder {
+    /// The paper's default CXL-M²NDP device (Table IV).
+    pub fn m2ndp() -> Self {
+        Self {
+            cfg: M2ndpConfig::default_device(),
+            remote: None,
+        }
+    }
+
+    /// GPU-NDP: `sms` GPU SMs inside the CXL device (§IV-A).
+    pub fn gpu_ndp(sms: u32, tb_warps: u32) -> Self {
+        Self {
+            cfg: M2ndpConfig::gpu_ndp_device(sms, Frequency::ghz(2.0), tb_warps),
+            remote: None,
+        }
+    }
+
+    /// The baseline host GPU (82 SMs, HBM2 local) with its workload data in
+    /// a passive CXL expander across the link.
+    pub fn gpu_baseline() -> Self {
+        let gpu = M2ndpConfig {
+            engine: m2ndp_core::EngineConfig::gpu_host(),
+            dram: m2ndp_mem::DramConfig::hbm2_gpu(),
+            workload_data_remote: true,
+            ..M2ndpConfig::default_device()
+        };
+        Self {
+            cfg: gpu,
+            remote: Some(M2ndpConfig::default_device()),
+        }
+    }
+
+    /// Scales the number of units (for quick tests and sweeps).
+    pub fn units(mut self, units: u32) -> Self {
+        self.cfg.engine.units = units;
+        self
+    }
+
+    /// Sets the NDP unit frequency (Fig. 13a sweeps 1–3 GHz).
+    pub fn frequency(mut self, freq: Frequency) -> Self {
+        self.cfg.engine.freq = freq;
+        self
+    }
+
+    /// Scales the CXL load-to-use latency (Fig. 13a's 2×/4× LtU).
+    pub fn ltu_scale(mut self, factor: f64) -> Self {
+        self.cfg.link = self.cfg.link.with_ltu_scale(factor);
+        self
+    }
+
+    /// Sets the dirty-host-cache fraction (Fig. 13b).
+    pub fn dirty_host_ratio(mut self, ratio: f64) -> Self {
+        self.cfg.dirty_host_ratio = ratio;
+        self
+    }
+
+    /// Access to the full configuration for bespoke tweaks.
+    pub fn config_mut(&mut self) -> &mut M2ndpConfig {
+        &mut self.cfg
+    }
+
+    /// Builds the device.
+    pub fn build(self) -> CxlM2ndpDevice {
+        let dev = CxlM2ndpDevice::new(self.cfg);
+        match self.remote {
+            Some(r) => dev.with_remote_cxl(r),
+            None => dev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let m2 = SystemBuilder::m2ndp().build();
+        assert_eq!(m2.config().engine.units, 32);
+        assert!(m2.config().engine.has_scalar_units);
+
+        let gn = SystemBuilder::gpu_ndp(8, 4).units(8).build();
+        assert!(!gn.config().engine.has_scalar_units);
+        assert_eq!(gn.config().engine.units, 8);
+
+        let gb = SystemBuilder::gpu_baseline().build();
+        assert_eq!(gb.config().dram.name, "HBM2");
+    }
+
+    #[test]
+    fn ltu_scaling_applies() {
+        let d = SystemBuilder::m2ndp().ltu_scale(4.0).build();
+        assert!((d.config().link.load_to_use_ns() - 600.0).abs() < 1e-9);
+    }
+}
