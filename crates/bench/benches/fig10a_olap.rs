@@ -4,7 +4,7 @@
 //!
 //! M²NDP's Evaluate runtime is *measured* on the device model; the baseline
 //! and CPU-NDP are the calibrated host models of `m2ndp-host` (the paper
-//! measured a real EPYC system for these — see DESIGN.md substitutions).
+//! measured a real EPYC system for these — see the substitutions note in PAPER.md).
 
 use m2ndp::host::cpu::{DataHome, HostCpu, HostCpuConfig};
 use m2ndp::workloads::olap;

@@ -1,7 +1,7 @@
 //! The experiment harness: everything the per-figure bench targets share.
 //!
 //! Each bench target in `benches/` regenerates one table or figure of the
-//! paper's evaluation (see DESIGN.md §4 for the index), printing the same
+//! paper's evaluation (see the figure map in PAPER.md for the index), printing the same
 //! rows/series the paper reports. The harness here provides:
 //!
 //! * [`table::Table`] — aligned console tables;

@@ -3,7 +3,7 @@
 //! The paper's scratchpad differs from CUDA shared memory in scope: *all*
 //! µthreads executing on an NDP unit share it (§III-D, advantage A3), versus
 //! CUDA's threadblock-private shared memory. The scratchpad LSU supports
-//! atomic operations ([12], vector-AMO extension) used for reductions
+//! atomic operations (\[12\], vector-AMO extension) used for reductions
 //! (Fig. 8's histogram/`AMOADD` pattern).
 //!
 //! Functional storage lives in the global [`MainMemory`](m2ndp_mem::MainMemory)
@@ -14,7 +14,7 @@ use m2ndp_sim::{Counter, Cycle};
 
 /// Virtual-address base of the scratchpad aperture. The paper maps the
 /// scratchpad into an unused region of the RISC-V virtual layout (§III-G,
-/// [51]); kernels address it with normal loads/stores.
+/// \[51\]); kernels address it with normal loads/stores.
 pub const SPAD_APERTURE_BASE: u64 = 0x0100_0000_0000;
 
 /// Aperture stride between consecutive NDP units' scratchpads.

@@ -58,7 +58,6 @@ struct L2Work {
     addr: u64,
     bytes: u32,
     write: bool,
-    amo: bool,
     token: L2Token,
 }
 
@@ -554,8 +553,9 @@ impl CxlM2ndpDevice {
             L2Work {
                 addr: req.addr,
                 bytes: req.bytes,
+                // AMOs arrive with write=true; the L2 charges them as
+                // ordinary writes and the executor applies the atomic.
                 write: req.write,
-                amo: req.amo,
                 token,
             },
         );
@@ -584,7 +584,6 @@ impl CxlM2ndpDevice {
                     addr: req.addr,
                     bytes: req.bytes,
                     write: req.write,
-                    amo: false,
                     token: L2Token {
                         dest: L2Dest::Host {
                             id: req.id,

@@ -77,10 +77,9 @@ pub struct UnitRequest {
     pub addr: u64,
     /// Size in bytes.
     pub bytes: u32,
-    /// Write?
+    /// Write? (AMOs arrive as writes; they are applied functionally by the
+    /// executor and charged at the memory-side L2, §III-F.)
     pub write: bool,
-    /// Atomic (performed at the memory-side L2, §III-F)?
-    pub amo: bool,
     /// How the response (if any) routes back.
     pub kind: RequestKind,
 }
@@ -1241,7 +1240,6 @@ impl Engine {
                     addr,
                     bytes: DRAM_TLB_ENTRY_BYTES,
                     write: false,
-                    amo: false,
                     kind: RequestKind::Direct(ss),
                 });
                 pending += 1;
@@ -1277,7 +1275,6 @@ impl Engine {
                                     addr: f,
                                     bytes: SECTOR_BYTES as u32,
                                     write: false,
-                                    amo: false,
                                     kind: RequestKind::L1Fill,
                                 });
                                 self.stats.mem_reqs.inc();
@@ -1287,7 +1284,6 @@ impl Engine {
                                     addr: a,
                                     bytes: b,
                                     write: true,
-                                    amo: false,
                                     kind: RequestKind::Posted,
                                 });
                             }
@@ -1298,7 +1294,6 @@ impl Engine {
                                 addr: sector,
                                 bytes: SECTOR_BYTES as u32,
                                 write: false,
-                                amo: false,
                                 kind: RequestKind::Direct(ss),
                             });
                             pending += 1;
@@ -1311,7 +1306,6 @@ impl Engine {
                         addr: sector,
                         bytes: SECTOR_BYTES as u32,
                         write: false,
-                        amo: false,
                         kind: RequestKind::Direct(ss),
                     });
                     pending += 1;
@@ -1338,7 +1332,6 @@ impl Engine {
                 addr,
                 bytes,
                 write: true,
-                amo: false,
                 kind: RequestKind::Posted,
             });
             self.stats.mem_reqs.inc();
@@ -1351,7 +1344,6 @@ impl Engine {
                 addr,
                 bytes,
                 write: true,
-                amo: true,
                 kind: RequestKind::Direct(ss),
             });
             pending += 1;

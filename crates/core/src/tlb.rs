@@ -2,7 +2,7 @@
 //!
 //! NDP kernels use virtual addresses for the µthread pool region and
 //! loads/stores. Each NDP unit has small I/D TLBs (256 entries, Table IV);
-//! misses are served from the *DRAM-TLB* [72,115], a hash-indexed table in
+//! misses are served from the *DRAM-TLB* \[72,115\], a hash-indexed table in
 //! the CXL memory's own DRAM (16 B per entry: ASID, tag, PPN, attributes),
 //! shared by all units of the device. With 2 MB pages the DRAM-TLB overhead
 //! is negligible and it is assumed warmed up for CXL-resident data (§IV-A),

@@ -3,7 +3,7 @@
 //! CXL.io is required for device management and is the conventional path for
 //! computation offloading. Its latencies are µs-scale: the ring-buffer
 //! scheme costs multiple link round-trips plus kernel-mode transitions, and
-//! a DMA takes ≥1 µs [61]. The evaluation parameterizes the one-way CXL.io
+//! a DMA takes ≥1 µs \[61\]. The evaluation parameterizes the one-way CXL.io
 //! latency `y` ≈ 500 ns (from the ~1 µs DMA) and charges:
 //!
 //! * ring buffer: `8y` of communication around a kernel (5y before, 3y
@@ -19,7 +19,7 @@ use m2ndp_sim::{Cycle, Frequency};
 pub struct CxlIoModel {
     /// One-way CXL.io latency in nanoseconds (Fig. 5's `y`, default 500 ns).
     pub one_way_ns: f64,
-    /// DMA setup + completion overhead in nanoseconds (≥1 µs [61]).
+    /// DMA setup + completion overhead in nanoseconds (≥1 µs \[61\]).
     pub dma_overhead_ns: f64,
     /// Sustained DMA bandwidth in bytes/second (shares the PCIe PHY).
     pub dma_bw_bytes_per_sec: f64,

@@ -5,7 +5,7 @@
 //! device through the switch (§II-B), which M²NDP uses to scale NDP across
 //! multiple memories (§III-I). A switch adds one store-and-forward hop in
 //! each direction (CXL memory latency "can approach 300 ns" through a
-//! switch [93], i.e. roughly doubling the port latency). §III-J integrates
+//! switch \[93\], i.e. roughly doubling the port latency). §III-J integrates
 //! the NDP logic *into* the switch so NDP throughput can scale independently
 //! of capacity, processing data held in passive third-party memories
 //! (Fig. 14b).
@@ -21,7 +21,7 @@ pub struct SwitchConfig {
     /// port, 64 GB/s).
     pub port_bw_bytes_per_sec: f64,
     /// Added one-way latency for traversing the switch, nanoseconds
-    /// (~70 ns: a second protocol-stack crossing, per Fig. 2 / [93]).
+    /// (~70 ns: a second protocol-stack crossing, per Fig. 2 / \[93\]).
     pub traversal_ns: f64,
 }
 

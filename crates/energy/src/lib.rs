@@ -2,7 +2,7 @@
 //!
 //! The paper models CPU energy with McPAT, GPU/NDP energy with AccelWattch,
 //! SRAM with CACTI 6.5, NoC with DSENT, and uses 8 pJ/bit for the CXL link
-//! [38]. This crate reproduces the *accounting structure* with published
+//! \[38\]. This crate reproduces the *accounting structure* with published
 //! per-event constants: energy = Σ (event counts × per-event energy) +
 //! static power × runtime. Figures report energy ratios, which depend on
 //! the event mix and runtime ratios rather than on absolute calibration.
@@ -22,7 +22,7 @@ pub struct EnergyModel {
     /// DRAM access energy per byte (pJ/B). LPDDR5 ≈ 4 pJ/bit ≈ 32 pJ/B;
     /// DDR5 higher, HBM2 lower.
     pub dram_pj_per_byte: f64,
-    /// CXL link energy per byte (8 pJ/bit = 64 pJ/B, Dally [38]).
+    /// CXL link energy per byte (8 pJ/bit = 64 pJ/B, Dally \[38\]).
     pub link_pj_per_byte: f64,
     /// L2/SRAM access energy per byte.
     pub sram_pj_per_byte: f64,
@@ -115,7 +115,7 @@ pub struct AreaModel {
     pub l1_spad_mm2: f64,
     /// Per-µthread-slot control state, mm².
     pub per_slot_mm2: f64,
-    /// Compute units (FPnew-based [99]) + remaining logic per unit, mm².
+    /// Compute units (FPnew-based \[99\]) + remaining logic per unit, mm².
     pub compute_mm2: f64,
 }
 

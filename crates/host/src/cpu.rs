@@ -71,7 +71,7 @@ impl Default for HostCpuConfig {
 impl HostCpuConfig {
     /// The CPU-NDP configuration: 32 host-class cores placed inside the
     /// CXL device with its internal 409.6 GB/s (§IV-A's EPYC measurement
-    /// proxy — see DESIGN.md substitutions).
+    /// proxy — see the substitutions note in PAPER.md).
     pub fn cpu_ndp() -> Self {
         Self {
             cores: 32,

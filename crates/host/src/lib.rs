@@ -12,7 +12,7 @@
 //!   their concurrency limits, plus the open-loop throughput/tail-latency
 //!   simulation behind Figs. 1b, 10b and 11a.
 //! * [`roofline`] — the Fig. 1a roofline analysis.
-//! * [`nsu`] — the NSU prior work [81]: host-translated addresses for every
+//! * [`nsu`] — the NSU prior work \[81\]: host-translated addresses for every
 //!   NDP access, bottlenecked on the CXL link.
 //! * [`domain_specific`] — Fig. 14a's application-specific NDP processing
 //!   elements (CXL-ANNS, CMS, RecNMP, CXL-PNM) as achievable-bandwidth

@@ -1,4 +1,4 @@
-//! The NSU prior-work model ([81] in the paper: "Toward standardized
+//! The NSU prior-work model (\[81\] in the paper: "Toward standardized
 //! near-data processing with unrestricted data placement for GPUs").
 //!
 //! NSU-style fine-grained NDP keeps the *host* responsible for translating

@@ -80,7 +80,6 @@ pub struct DramChannel {
     t_cl: Cycle,
     t_rp: Cycle,
     t_ccd_l: Cycle,
-    burst_cycles: Cycle,
     access_bytes: u32,
     /// Last column command cycle per bankgroup, for tCCD_L.
     last_col_in_group: Vec<Cycle>,
@@ -93,8 +92,6 @@ impl DramChannel {
     pub fn new(cfg: &DramConfig, owner: Frequency) -> Self {
         let banks = vec![Bank::default(); cfg.banks_per_channel() as usize];
         let bytes_per_cycle = owner.bytes_per_cycle(cfg.channel_bw_bytes_per_sec());
-        let burst_cycles =
-            (cfg.access_bytes as f64 / bytes_per_cycle).ceil().max(1.0) as Cycle;
         Self {
             banks,
             bankgroups: cfg.bankgroups,
@@ -107,7 +104,6 @@ impl DramChannel {
             t_cl: cfg.to_owner_cycles(cfg.timing.t_cl, owner),
             t_rp: cfg.to_owner_cycles(cfg.timing.t_rp, owner),
             t_ccd_l: cfg.to_owner_cycles(cfg.timing.t_ccd_l, owner),
-            burst_cycles,
             access_bytes: cfg.access_bytes,
             last_col_in_group: vec![0; cfg.bankgroups as usize],
             stats: ChannelStats::default(),

@@ -2,7 +2,7 @@
 //!
 //! The paper assumes fine-grained 256 B-granularity *hashed* interleaving
 //! across the CXL memory's channels (§IV-A, citing Rau's pseudo-random
-//! interleaving [114]); within a channel, consecutive interleave granules
+//! interleaving \[114\]); within a channel, consecutive interleave granules
 //! spread over bankgroups and banks to expose bank-level parallelism.
 
 /// Decomposed DRAM coordinates for one address.

@@ -3,9 +3,9 @@
 //! The CXL-M²NDP device connects its NDP units to the memory-side L2 slices
 //! and memory controllers through crossbars — Table IV specifies "Four 32x32
 //! crossbars (32 B flit)" for the device and an 82×48 crossbar for the GPU.
-//! §III-E notes on-chip wires and bandwidth are abundant [39], so the model
+//! §III-E notes on-chip wires and bandwidth are abundant \[39\], so the model
 //! is intentionally lean: per-source-port and per-destination-port
-//! [`BandwidthGate`](m2ndp_sim::BandwidthGate)s plus a fixed traversal
+//! [`BandwidthGate`]s plus a fixed traversal
 //! latency, with flit-granularity byte accounting.
 
 #![warn(missing_docs)]

@@ -242,7 +242,7 @@ pub enum VFpOp {
 /// Vector reductions (scalar result in element 0 of vd).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VRedOp {
-    /// Integer sum: vd[0] = vs1[0] + sum(vs2).
+    /// Integer sum: `vd[0] = vs1[0] + sum(vs2)`.
     Sum,
     /// Integer max.
     Max,
@@ -397,7 +397,7 @@ pub enum Instr {
         /// Byte offset added to the register (must be instruction-aligned).
         offset: i64,
     },
-    /// Atomic memory operation: rd = M[rs1]; M[rs1] = op(M[rs1], rs2).
+    /// Atomic memory operation: `rd = M[rs1]; M[rs1] = op(M[rs1], rs2)`.
     Amo {
         /// Operation.
         op: AmoOp,
@@ -589,7 +589,7 @@ pub enum Instr {
         /// Execute under mask v0.
         masked: bool,
     },
-    /// Vector reduction: vd[0] = op(vs1[0], elements of vs2).
+    /// Vector reduction: `vd[0] = op(vs1[0], elements of vs2)`.
     VRed {
         /// Reduction.
         op: VRedOp,
@@ -639,14 +639,14 @@ pub enum Instr {
         /// Vector source.
         vs2: u8,
     },
-    /// vid.v — vd[i] = i.
+    /// vid.v — `vd[i] = i`.
     Vid {
         /// Destination.
         vd: u8,
         /// Execute under mask v0.
         masked: bool,
     },
-    /// vmerge.vvm/vxm/vim: vd[i] = mask[i] ? operand[i] : vs2[i].
+    /// vmerge.vvm/vxm/vim: `vd[i] = mask[i] ? operand[i] : vs2[i]`.
     VMerge {
         /// Destination.
         vd: u8,
@@ -655,7 +655,7 @@ pub enum Instr {
         /// "true" operand.
         operand: VOperand,
     },
-    /// vslidedown.vx/vi — vd[i] = vs2[i + offset].
+    /// vslidedown.vx/vi — `vd[i] = vs2[i + offset]`.
     VSlidedown {
         /// Destination.
         vd: u8,
@@ -664,7 +664,7 @@ pub enum Instr {
         /// Slide amount.
         operand: VOperand,
     },
-    /// Vector AMO ([12]): per-element atomic op at base + index.
+    /// Vector AMO (\[12\]): per-element atomic op at base + index.
     VAmo {
         /// The atomic operation.
         op: AmoOp,

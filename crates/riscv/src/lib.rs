@@ -6,7 +6,7 @@
 //! This crate provides everything needed to run them:
 //!
 //! * [`instr`] — the instruction forms: scalar integer (I/M), scalar float
-//!   (F/D), atomics (A, plus the vector-AMO extension [12]), and vector
+//!   (F/D), atomics (A, plus the vector-AMO extension \[12\]), and vector
 //!   (RVV 256-bit as configured in Table IV: "256-bit vector units");
 //! * [`asm`] — a text assembler with labels, ABI register names, and the
 //!   usual pseudo-instructions (`li`, `mv`, `j`, `ret`, `halt`);

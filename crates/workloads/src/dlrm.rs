@@ -1,4 +1,4 @@
-//! DLRM Sparse-Length-Sum (SLS): embedding gather-reduce (Table V, [104]).
+//! DLRM Sparse-Length-Sum (SLS): embedding gather-reduce (Table V, \[104\]).
 //!
 //! The SLS operator sums `lookups` embedding rows per request. The µthread
 //! pool region is the *output* activation (§IV-B: "using the output vector
@@ -22,7 +22,7 @@ pub struct DlrmConfig {
     pub table_rows: u64,
     /// Embedding dimension in f32 elements (paper: 256).
     pub dim: u32,
-    /// Lookups per request (80, following RecNMP [77]).
+    /// Lookups per request (80, following RecNMP \[77\]).
     pub lookups: u32,
     /// Requests in the batch (4 / 32 / 256 in Fig. 10c).
     pub batch: u32,

@@ -1,4 +1,4 @@
-//! Graph analytics: PGRANK (PageRank) and SSSP from Pannotia [34]
+//! Graph analytics: PGRANK (PageRank) and SSSP from Pannotia \[34\]
 //! (Table V).
 //!
 //! PGRANK runs pull-style over the *reverse* CSR: two kernels per

@@ -1,9 +1,9 @@
-//! HISTO: histogram of a large integer array (Table V; CUDA samples [105]).
+//! HISTO: histogram of a large integer array (Table V; CUDA samples \[105\]).
 //!
 //! The M²NDP kernel exercises the paper's scratchpad story (§III-D, A3 and
 //! Fig. 6b): the initializer zeroes per-unit scratchpad bins, the body
 //! vector-gathers its 32 B granule and scatter-adds into the scratchpad with
-//! vector AMOs [12], and the finalizer flushes each unit's private bins to
+//! vector AMOs \[12\], and the finalizer flushes each unit's private bins to
 //! the global histogram with global atomics. Under the GPU-mode engine the
 //! same kernel runs with *threadblock-scoped* scratchpad, multiplying the
 //! init/flush traffic by the TB count — the effect Fig. 6b measures.

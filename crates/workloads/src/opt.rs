@@ -1,11 +1,11 @@
-//! OPT generation phase: one transformer decode step (Table V, [143]).
+//! OPT generation phase: one transformer decode step (Table V, \[143\]).
 //!
 //! Token generation is weight-streaming-bound: every step reads all weight
 //! matrices once (GEMVs) plus the KV cache (attention). We simulate a
 //! dimension-scaled transformer with the same operator mix — QKV projection,
 //! per-head attention (scores → softmax → weighted sum), output projection
 //! and the two FFN GEMVs — and extrapolate to the real OPT-2.7B/30B byte
-//! counts in the benches (see DESIGN.md substitutions). Layernorms and
+//! counts in the benches (see the substitutions note in PAPER.md). Layernorms and
 //! activation functions move no memory and are omitted.
 //!
 //! The GEMV kernel stages the input vector in the scratchpad (initializer),

@@ -1,5 +1,5 @@
 //! SPMV: sparse matrix–vector multiply over a CSR matrix (Table V, from the
-//! PIM benchmark study [56]).
+//! PIM benchmark study \[56\]).
 //!
 //! The µthread pool region is the row-pointer array (§IV-B: "we use the
 //! address range of the row pointers"), so each µthread owns the 4 rows

@@ -1,0 +1,142 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so the entry points the micro-benchmarks use are vendored
+//! here: [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up
+//! briefly, then timed over enough iterations to fill a short measurement
+//! window, and the mean wall-clock time per iteration is printed. There is
+//! no statistical analysis, HTML report, or baseline comparison — the goal
+//! is that `cargo bench` compiles and produces honest ballpark numbers
+//! without network access.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one benchmark's iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly until the measurement window is filled,
+    /// recording total elapsed time and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (pays lazy-init costs).
+        black_box(f());
+        let window = Instant::now();
+        while window.elapsed() < self.measure_for {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+        }
+    }
+}
+
+/// The benchmark harness handle passed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("M2NDP_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Self {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Hook kept for API compatibility with the real crate; this subset
+    /// has no CLI arguments and returns `self` unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measure_for: self.measure_for,
+        };
+        f(&mut b);
+        if b.iters_done == 0 {
+            println!("{name:<44} (no timed iterations)");
+        } else {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+            println!(
+                "{name:<44} {:>12.1} ns/iter ({} iterations)",
+                per_iter, b.iters_done
+            );
+        }
+        self
+    }
+}
+
+/// Groups benchmark functions under one runner function, mirroring the
+/// real crate's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given benchmark groups (used with
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        std::env::set_var("M2NDP_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+}
