@@ -30,8 +30,11 @@ fn main() {
         let mut lats = Vec::new();
         for &req in &data.requests {
             t += m2ndp::sim::rng::exponential(&mut rng, 1e9 / load);
-            let service =
-                cpu.chase_latency_ns(kvstore::baseline_hops(&data, req), kvstore::HOST_HASH_NS, home);
+            let service = cpu.chase_latency_ns(
+                kvstore::baseline_hops(&data, req),
+                kvstore::HOST_HASH_NS,
+                home,
+            );
             let idx = (0..free.len())
                 .min_by(|&a, &b| free[a].partial_cmp(&free[b]).expect("finite"))
                 .expect("cores > 0");

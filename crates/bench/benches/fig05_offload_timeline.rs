@@ -19,7 +19,11 @@ fn main() {
         "end-to-end",
         "concurrent kernels",
     ]);
-    for (name, m) in [("M2func (z+2x)", &m2), ("CXL.io ring buffer (z+8y)", &rb), ("CXL.io direct (z+3y)", &dr)] {
+    for (name, m) in [
+        ("M2func (z+2x)", &m2),
+        ("CXL.io ring buffer (z+8y)", &rb),
+        ("CXL.io direct (z+3y)", &dr),
+    ] {
         t.row(vec![
             name.to_string(),
             format!("{:.0}", m.pre_ns()),

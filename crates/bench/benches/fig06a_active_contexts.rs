@@ -29,7 +29,7 @@ fn occupancy(dev: &mut m2ndp::core::CxlM2ndpDevice) -> (Vec<f64>, u64) {
         dev.tick();
         integral += dev.engine.active_contexts() as u64;
         ticks += 1;
-        if ticks % 2000 == 0 {
+        if ticks.is_multiple_of(2000) {
             samples.push(dev.engine.active_contexts() as f64 / total_slots);
         }
         assert!(ticks < 50_000_000, "runaway");
@@ -47,7 +47,11 @@ fn main() {
         ("SM (TB size: 64)", SystemBuilder::gpu_ndp(4, 2).build()),
         ("SM (TB size: 128)", SystemBuilder::gpu_ndp(4, 4).build()),
     ];
-    let mut t = Table::new(vec!["configuration", "avg active-context ratio", "kernel cycles"]);
+    let mut t = Table::new(vec![
+        "configuration",
+        "avg active-context ratio",
+        "kernel cycles",
+    ]);
     let mut ndp_avg = 0.0;
     let mut worst_gpu: f64 = 1.0;
     for (name, dev) in &mut configs {

@@ -20,13 +20,19 @@ fn main() {
         "global mem accesses".to_string(),
         gpu.stats.mem_reqs.to_string(),
         m2.stats.mem_reqs.to_string(),
-        format!("{:.2}", m2.stats.mem_reqs as f64 / gpu.stats.mem_reqs as f64),
+        format!(
+            "{:.2}",
+            m2.stats.mem_reqs as f64 / gpu.stats.mem_reqs as f64
+        ),
     ]);
     t.row(vec![
         "scratchpad bytes".to_string(),
         gpu.stats.spad_bytes.to_string(),
         m2.stats.spad_bytes.to_string(),
-        format!("{:.2}", m2.stats.spad_bytes as f64 / gpu.stats.spad_bytes as f64),
+        format!(
+            "{:.2}",
+            m2.stats.spad_bytes as f64 / gpu.stats.spad_bytes as f64
+        ),
     ]);
     t.print("Fig. 6b — HISTO traffic, normalized to GPU-NDP (paper: global 0.90, spad 0.44)");
     println!(

@@ -4,89 +4,13 @@
 //!
 //! M²NDP's Evaluate runtime is *measured* on the device model; the baseline
 //! and CPU-NDP are the calibrated host models of `m2ndp-host` (the paper
-//! measured a real EPYC system for these — see the substitutions note in PAPER.md).
+//! measured a real EPYC system for these — see the substitutions note in
+//! PAPER.md). The per-query cells live in `m2ndp_bench::sweep`, shared with
+//! the `figures` CLI.
 
-use m2ndp::host::cpu::{DataHome, HostCpu, HostCpuConfig};
-use m2ndp::workloads::olap;
-use m2ndp::SystemBuilder;
-use m2ndp_bench::platforms::SCALE;
-use m2ndp_bench::table::Table;
-use m2ndp_bench::geomean;
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
 
 fn main() {
-    let cfg = olap::OlapConfig {
-        rows: 1 << 20,
-        seed: 0x01AF,
-    };
-
-    // Baseline: the paper measured Polars, whose Evaluate runs one filter
-    // expression at a time on a single core, MLP-limited over CXL; the
-    // efficiency factor calibrates to the paper's measured throughput.
-    let host = HostCpu::new(HostCpuConfig::default());
-    let single_core_bw = host.config().mlp as f64 * 64.0 / (150e-9) * 0.55;
-    // CPU-NDP: 32 host-class cores inside the device in the paper; divided
-    // by the bench unit scale so it is comparable with the 32/SCALE-unit
-    // M2NDP device simulated here. Ideal NDP is the full internal DRAM
-    // bandwidth, scaled the same way.
-    let cpu_ndp = HostCpu::new(HostCpuConfig {
-        cores: 32 / SCALE,
-        ..HostCpuConfig::cpu_ndp()
-    });
-    let ideal_bw = 409.6e9 / SCALE as f64;
-
-    let mut t = Table::new(vec![
-        "query",
-        "Baseline eval (us)",
-        "CPU-NDP eval (us)",
-        "M2NDP eval (us)",
-        "Ideal eval (us)",
-        "M2NDP speedup",
-        "CPU-NDP speedup",
-    ]);
-    let mut m2_speedups = Vec::new();
-    let mut util_sum = 0.0;
-    let queries = olap::queries();
-    for query in &queries {
-        // Fresh device per query (cold caches, as separate query runs).
-        let mut dev = SystemBuilder::m2ndp().units(8).build();
-        let data = olap::generate(cfg, dev.memory_mut());
-        let kid = dev.register_kernel(olap::evaluate_kernel());
-        let start = dev.now();
-        for launch in olap::evaluate_launches(&data, query, kid) {
-            let inst = dev.launch(launch).expect("launch");
-            dev.run_until_finished(inst);
-        }
-        let m2_cycles = dev.now() - start;
-        let m2_ns = dev.config().engine.freq.ns_from_cycles(m2_cycles);
-        olap::verify(&data, query, dev.memory()).expect("olap verifies");
-
-        let bytes = olap::evaluate_bytes(&data, query);
-        // Polars evaluates predicates serially on one core.
-        let baseline_ns = bytes as f64 / single_core_bw * 1e9;
-        let cpu_ndp_ns = bytes as f64 / cpu_ndp.stream_bw(DataHome::DeviceInternal) * 1e9;
-        let ideal_ns = bytes as f64 / ideal_bw * 1e9;
-        util_sum += ideal_ns / m2_ns;
-        let m2_speedup = baseline_ns / m2_ns;
-        m2_speedups.push(m2_speedup);
-        t.row(vec![
-            query.name.to_string(),
-            format!("{:.0}", baseline_ns / 1e3),
-            format!("{:.0}", cpu_ndp_ns / 1e3),
-            format!("{:.0}", m2_ns / 1e3),
-            format!("{:.0}", ideal_ns / 1e3),
-            format!("{m2_speedup:.0}x"),
-            format!("{:.0}x", baseline_ns / cpu_ndp_ns),
-        ]);
-    }
-    t.print("Fig. 10a — OLAP Evaluate phase at bench scale (units / 4)");
-    println!(
-        "M2NDP Evaluate speedup geomean: {:.0}x at 1/{SCALE} unit scale -> ~{:.0}x at the paper's \
-         32 units (paper: avg 73.4x, up to 128x)",
-        geomean(&m2_speedups),
-        geomean(&m2_speedups) * SCALE as f64
-    );
-    println!(
-        "M2NDP achieved {:.0}% of Ideal-NDP bandwidth on average (paper: within 10.3%, 90.7% DRAM BW)",
-        util_sum / queries.len() as f64 * 100.0
-    );
+    let (outs, metrics) = run_figure(FigId::Fig10a, false, 1, false);
+    print_figure(FigId::Fig10a, &outs, &metrics);
 }

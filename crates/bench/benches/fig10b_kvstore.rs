@@ -1,49 +1,11 @@
 //! Fig. 10b: KVStore P95 latency improvement over the host baseline —
 //! M²µthread kernels launched via CXL.io direct MMIO, CXL.io ring buffer,
-//! and M²func.
+//! and M²func. The service/baseline/offload cells live in
+//! `m2ndp_bench::sweep`, shared with the `figures` CLI.
 
-use m2ndp::host::offload::{OffloadMechanism, OffloadModel, OffloadSim};
-use m2ndp_bench::runner::{kvs_baseline_latencies_ns, kvs_service_times_ns, p95};
-use m2ndp_bench::table::Table;
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
 
 fn main() {
-    // NDP kernel service-time distribution, measured on the device.
-    let service = kvs_service_times_ns(200);
-    let mut sorted = service.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    println!(
-        "measured NDP kernel runtime: p50 {:.0} ns, p95 {:.0} ns (paper: 0.77 us P95)",
-        sorted[sorted.len() / 2],
-        p95(&service)
-    );
-
-    // Offered load below direct-MMIO saturation (~1/(z+3y) ≈ 440K/s), as in
-    // the paper where DR degrades P95 but still serves.
-    let rate = 2.0e5;
-    for (mix, seed) in [("KVS_A", 11u64), ("KVS_B", 13u64)] {
-        let baseline_p95 = p95(&kvs_baseline_latencies_ns(4000, 1.0));
-        let mut t = Table::new(vec!["configuration", "P95 (ns)", "improvement over baseline"]);
-        t.row(vec![
-            "Baseline (host walks table over CXL)".to_string(),
-            format!("{baseline_p95:.0}"),
-            "1.00".into(),
-        ]);
-        for (label, mech) in [
-            ("M2uthread + CXL.io_DR", OffloadMechanism::CxlIoDirect),
-            ("M2uthread + CXL.io_RB", OffloadMechanism::CxlIoRingBuffer),
-            ("M2uthread + M2func", OffloadMechanism::M2Func),
-        ] {
-            let mut res = OffloadSim::new(OffloadModel::with_defaults(mech), 48)
-                .run(10_000, rate, &service, seed);
-            let p = res.latencies.percentile(0.95) as f64;
-            t.row(vec![
-                label.to_string(),
-                format!("{p:.0}"),
-                format!("{:.2}", baseline_p95 / p),
-            ]);
-        }
-        t.print(&format!(
-            "Fig. 10b — {mix} P95 latency improvement (paper: DR 0.58, RB 0.29, M2func 1.39)"
-        ));
-    }
+    let (outs, metrics) = run_figure(FigId::Fig10b, false, 1, false);
+    print_figure(FigId::Fig10b, &outs, &metrics);
 }

@@ -3,46 +3,12 @@
 //!
 //! Every cell is a full device simulation at bench scale (unit counts / 4,
 //! see `platforms::SCALE`); NSU is the analytic link-bottleneck model of
-//! [81].
+//! [81]. Cells, derived speedups and the printed rows all come from
+//! `m2ndp_bench::sweep` (shared with the `figures` CLI).
 
-use m2ndp::host::nsu::NsuModel;
-use m2ndp_bench::platforms::Platform;
-use m2ndp_bench::runner::{run, GpuWorkload};
-use m2ndp_bench::table::Table;
-use m2ndp_bench::geomean;
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
 
 fn main() {
-    let platforms = Platform::all();
-    let mut headers: Vec<String> = vec!["workload".into()];
-    headers.extend(platforms.iter().skip(1).map(|p| p.label().to_string()));
-    headers.push("NSU".into());
-    let mut t = Table::new(headers);
-
-    let nsu = NsuModel::default();
-    let mut m2_speedups = Vec::new();
-    for w in GpuWorkload::all() {
-        let base = run(Platform::GpuBaseline, w);
-        let mut cells = vec![w.label().to_string()];
-        for p in platforms.iter().skip(1) {
-            let r = run(*p, w);
-            let s = base.ns / r.ns;
-            if *p == Platform::M2ndp {
-                m2_speedups.push(s);
-            }
-            cells.push(format!("{s:.2}x"));
-        }
-        // NSU: host generates every NDP address; one 32 B access per
-        // command over the link. The data volume is what the baseline moved
-        // across the link (its data is CXL-resident).
-        let data_bytes = (base.stats.link_m2s_bytes + base.stats.link_s2m_bytes).max(1);
-        let nsu_runtime = nsu.runtime_s(data_bytes / 32, data_bytes, 0);
-        let nsu_speedup = (base.ns * 1e-9) / nsu_runtime;
-        cells.push(format!("{nsu_speedup:.2}x"));
-        t.row(cells);
-    }
-    t.print("Fig. 10c — speedup over the GPU baseline (paper: M2NDP up to 9.71x, avg 6.35x; NSU 0.97x)");
-    println!(
-        "M2NDP geomean speedup: {:.2}x (paper: 6.35x average)",
-        geomean(&m2_speedups)
-    );
+    let (outs, metrics) = run_figure(FigId::Fig10c, false, 1, false);
+    print_figure(FigId::Fig10c, &outs, &metrics);
 }

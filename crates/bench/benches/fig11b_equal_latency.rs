@@ -3,8 +3,8 @@
 //! only the fewer-round-trips advantage.
 
 use m2ndp::cxl::CxlIoModel;
-use m2ndp::host::offload::{OffloadMechanism, OffloadModel, OffloadSim};
 use m2ndp::cxl::CxlLinkConfig;
+use m2ndp::host::offload::{OffloadMechanism, OffloadModel, OffloadSim};
 use m2ndp_bench::runner::kvs_service_times_ns;
 use m2ndp_bench::table::Table;
 
@@ -42,12 +42,18 @@ fn main() {
             format!("{:.0}%", (1.0 - e_m2 / e_rb) * 100.0),
         ]);
     }
-    t.print("Fig. 11b — equal 600 ns latency for CXL.io and CXL.mem (paper: up to 63%, 12.1% overall)");
+    t.print(
+        "Fig. 11b — equal 600 ns latency for CXL.io and CXL.mem (paper: up to 63%, 12.1% overall)",
+    );
 
     // Throughput view: M2func/RB support concurrency, DR does not.
     let service = kvs_service_times_ns(100);
-    let m2_thr = OffloadSim::new(m2, 48).run(8000, 3e7, &service, 3).throughput;
-    let dr_thr = OffloadSim::new(dr, 48).run(8000, 3e7, &service, 3).throughput;
+    let m2_thr = OffloadSim::new(m2, 48)
+        .run(8000, 3e7, &service, 3)
+        .throughput;
+    let dr_thr = OffloadSim::new(dr, 48)
+        .run(8000, 3e7, &service, 3)
+        .throughput;
     println!(
         "KVS_A throughput: M2func {:.2e}/s vs CXL.io_DR {:.2e}/s = {:.1}x (paper: 47.3x)",
         m2_thr,

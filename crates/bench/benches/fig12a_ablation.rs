@@ -1,58 +1,12 @@
 //! Fig. 12a: ablation study — M²NDP without M²func (CXL.io ring-buffer
 //! launches), without fine-grained µthread spawning (coarse 16-µthread
-//! batches), and without the scalar-unit address optimization.
+//! batches), and without the scalar-unit address optimization. The variant
+//! cells live in `m2ndp_bench::sweep` (devices built via
+//! `platforms::Variant`), shared with the `figures` CLI.
 
-use m2ndp::host::offload::{OffloadMechanism, OffloadModel};
-use m2ndp_bench::platforms::Platform;
-use m2ndp_bench::runner::{run, run_on_device, GpuWorkload};
-use m2ndp_bench::table::Table;
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
 
 fn main() {
-    let mut t = Table::new(vec![
-        "workload",
-        "M2NDP",
-        "w/o M2func",
-        "w/o fine-grained thr",
-        "w/o addr opt",
-    ]);
-    let rb = OffloadModel::with_defaults(OffloadMechanism::CxlIoRingBuffer);
-    let m2f = OffloadModel::with_defaults(OffloadMechanism::M2Func);
-    for w in GpuWorkload::sweep_subset() {
-        let base = run(Platform::M2ndp, w);
-
-        // w/o M2func: same kernels, ring-buffer launch overhead instead.
-        let extra = rb.overhead_ns() - m2f.overhead_ns();
-        let wo_m2func_ns = base.ns + extra;
-
-        // w/o fine-grained spawning: µthreads spawn/release in batches of
-        // 16 per sub-core (resources held until the whole batch finishes).
-        let mut dev = m2ndp::SystemBuilder::m2ndp().units(8).build();
-        {
-            let cfg = &mut dev;
-            let _ = cfg;
-        }
-        let mut builder = m2ndp::SystemBuilder::m2ndp().units(8);
-        builder.config_mut().engine.spawn_batch_contexts = 16;
-        let mut dev = builder.build();
-        let coarse = run_on_device(&mut dev, Platform::M2ndp, w);
-
-        // w/o addr opt: scalar work on the vector units + index arithmetic.
-        let mut builder = m2ndp::SystemBuilder::m2ndp().units(8);
-        builder.config_mut().engine.has_scalar_units = false;
-        builder.config_mut().engine.addr_calc_overhead = 3;
-        let mut dev = builder.build();
-        let noaddr = run_on_device(&mut dev, Platform::M2ndp, w);
-
-        t.row(vec![
-            w.label().to_string(),
-            "1.00".to_string(),
-            format!("{:.2}", wo_m2func_ns / base.ns),
-            format!("{:.2}", coarse.ns / base.ns),
-            format!("{:.2}", noaddr.ns / base.ns),
-        ]);
-    }
-    t.print(
-        "Fig. 12a — runtime normalized to M2NDP (paper: w/o M2func up to 2.41, \
-         w/o fine-grained up to 1.51, w/o addr opt up to 1.20)",
-    );
+    let (outs, metrics) = run_figure(FigId::Fig12a, false, 1, false);
+    print_figure(FigId::Fig12a, &outs, &metrics);
 }

@@ -1,92 +1,11 @@
 //! Fig. 12b: scaling with multiple CXL-M²NDPs (1–8 devices) under model
 //! parallelism — each device simulates its 1/N partition; the all-reduce
-//! crosses the switch (§III-I).
+//! crosses the switch (§III-I). The partition cells live in
+//! `m2ndp_bench::sweep`, shared with the `figures` CLI.
 
-use m2ndp::core::multi::MultiDeviceRun;
-use m2ndp::cxl::SwitchConfig;
-use m2ndp::sim::Frequency;
-use m2ndp::workloads::{dlrm, opt};
-use m2ndp::SystemBuilder;
-use m2ndp_bench::table::Table;
-
-/// Simulates DLRM-B256 with the table partitioned across `n` devices.
-fn dlrm_partition_cycles(n: u32) -> u64 {
-    let mut dev = SystemBuilder::m2ndp().units(8).build();
-    let cfg = dlrm::DlrmConfig {
-        table_rows: (64 << 10) / n as u64,
-        dim: 64,
-        lookups: 80 / n.min(80),
-        batch: 256,
-        zipf_theta: 0.9,
-        seed: 0xD12A,
-    };
-    let data = dlrm::generate(cfg, dev.memory_mut());
-    let kid = dev.register_kernel(dlrm::kernel());
-    let start = dev.now();
-    let inst = dev.launch(dlrm::launch(&data, kid)).expect("launch");
-    dev.run_until_finished(inst);
-    dev.now() - start
-}
-
-/// Simulates an OPT decode step with hidden dimension split across `n`
-/// devices (tensor parallelism: each holds 1/N of every weight matrix).
-fn opt_partition_cycles(big: bool, n: u32) -> u64 {
-    let mut dev = SystemBuilder::m2ndp().units(8).build();
-    let full = if big { 512 } else { 256 };
-    let cfg = opt::OptConfig {
-        hidden: full,
-        heads: 8,
-        ffn: (full * 4) / n,
-        layers: 1,
-        context: 128 / n.min(128),
-        seed: 7,
-    };
-    let data = opt::generate(cfg, dev.memory_mut());
-    let kernels = opt::OptKernels {
-        gemv: dev.register_kernel(opt::gemv_kernel()),
-        scores: dev.register_kernel(opt::scores_kernel()),
-        softmax: dev.register_kernel(opt::softmax_kernel()),
-        wsum: dev.register_kernel(opt::weighted_sum_kernel()),
-    };
-    let units = dev.config().engine.units;
-    let start = dev.now();
-    for (_k, launch) in opt::decode_step_launches(&data, &kernels, units) {
-        let inst = dev.launch(launch).expect("launch");
-        dev.run_until_finished(inst);
-    }
-    dev.now() - start
-}
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
 
 fn main() {
-    let mut t = Table::new(vec![
-        "devices",
-        "DLRM(SLS)-B256",
-        "OPT-2.7B(Gen)",
-        "OPT-30B(Gen)",
-    ]);
-    let dlrm_single = dlrm_partition_cycles(1);
-    let opt27_single = opt_partition_cycles(false, 1);
-    let opt30_single = opt_partition_cycles(true, 1);
-    for n in [1u32, 2, 4, 8] {
-        let mk = |per_dev: u64, allreduce_bytes: u64| {
-            MultiDeviceRun {
-                per_device_cycles: vec![per_dev; n as usize],
-                allreduce_bytes_per_device: if n > 1 { allreduce_bytes } else { 0 },
-                switch: SwitchConfig::default(),
-                clock: Frequency::ghz(2.0),
-            }
-        };
-        // DLRM: disjoint outputs, negligible combine; OPT: hidden-sized
-        // all-reduce per layer (smaller model → combine dominates sooner).
-        let d = mk(dlrm_partition_cycles(n), 4096).speedup_over(dlrm_single);
-        let o27 = mk(opt_partition_cycles(false, n), 256 * 4).speedup_over(opt27_single);
-        let o30 = mk(opt_partition_cycles(true, n), 512 * 4).speedup_over(opt30_single);
-        t.row(vec![
-            n.to_string(),
-            format!("{d:.2}x"),
-            format!("{o27:.2}x"),
-            format!("{o30:.2}x"),
-        ]);
-    }
-    t.print("Fig. 12b — multi-device scaling (paper: 7.84x DLRM, 7.69x OPT-30B, 6.45x OPT-2.7B at 8 devices)");
+    let (outs, metrics) = run_figure(FigId::Fig12b, false, 1, false);
+    print_figure(FigId::Fig12b, &outs, &metrics);
 }

@@ -1,67 +1,11 @@
 //! Fig. 13a: sensitivity of the M²NDP speedup to NDP unit frequency
-//! (1/2/3 GHz) and to the CXL load-to-use latency (2×/4×).
+//! (1/2/3 GHz) and to the CXL load-to-use latency (2×/4×). The variant
+//! cells live in `m2ndp_bench::sweep` (devices built via
+//! `platforms::Variant`), shared with the `figures` CLI.
 
-use m2ndp::sim::Frequency;
-use m2ndp_bench::platforms::Platform;
-use m2ndp_bench::runner::{run, run_on_device, GpuWorkload};
-use m2ndp_bench::table::Table;
-use m2ndp_bench::geomean;
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
 
 fn main() {
-    let mut t = Table::new(vec![
-        "workload",
-        "Default",
-        "1GHz",
-        "3GHz",
-        "2xLtU",
-        "4xLtU",
-    ]);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for w in GpuWorkload::sweep_subset() {
-        let base = run(Platform::GpuBaseline, w);
-        let m2 = run(Platform::M2ndp, w);
-
-        let mut at_freq = |ghz: f64| {
-            let mut b = m2ndp::SystemBuilder::m2ndp().units(8).frequency(Frequency::ghz(ghz));
-            let _ = &mut b;
-            let mut dev = b.build();
-            run_on_device(&mut dev, Platform::M2ndp, w)
-        };
-        let m2_1g = at_freq(1.0);
-        let m2_3g = at_freq(3.0);
-
-        // Higher LtU slows the *baseline* (its accesses cross the link);
-        // M²NDP kernels never use the link during execution (§IV-D).
-        let mut at_ltu = |scale: f64| {
-            let mut b = m2ndp::SystemBuilder::gpu_baseline();
-            b.config_mut().engine.units = 20;
-            let mut b = b.ltu_scale(scale);
-            let _ = &mut b;
-            let mut dev = b.build();
-            run_on_device(&mut dev, Platform::GpuBaseline, w)
-        };
-        let base_2x = at_ltu(2.0);
-        let base_4x = at_ltu(4.0);
-
-        let speedups = [
-            base.ns / m2.ns,
-            base.ns / m2_1g.ns,
-            base.ns / m2_3g.ns,
-            base_2x.ns / m2.ns,
-            base_4x.ns / m2.ns,
-        ];
-        for (c, s) in cols.iter_mut().zip(speedups) {
-            c.push(s);
-        }
-        let mut cells = vec![w.label().to_string()];
-        cells.extend(speedups.iter().map(|s| format!("{s:.2}x")));
-        t.row(cells);
-    }
-    t.print("Fig. 13a — M2NDP speedup over the baseline across frequencies and LtU latencies");
-    let g: Vec<String> = cols.iter().map(|c| format!("{:.2}x", geomean(c))).collect();
-    println!(
-        "geomeans: default {} | 1GHz {} | 3GHz {} | 2xLtU {} | 4xLtU {} \
-         (paper: 1GHz -10%, 3GHz +2.5%, higher LtU grows the speedup to 13.1x/19.4x)",
-        g[0], g[1], g[2], g[3], g[4]
-    );
+    let (outs, metrics) = run_figure(FigId::Fig13a, false, 1, false);
+    print_figure(FigId::Fig13a, &outs, &metrics);
 }

@@ -1,37 +1,11 @@
 //! Fig. 13b: the dirty-host-cache limit study — runtime with 20/40/80 % of
 //! the NDP kernel's data dirty in the host cache (back-invalidation per
-//! touched line, §II-B).
+//! touched line, §II-B). The dirty-ratio cells live in
+//! `m2ndp_bench::sweep`, shared with the `figures` CLI.
 
-use m2ndp_bench::platforms::Platform;
-use m2ndp_bench::runner::{run_on_device, GpuWorkload};
-use m2ndp_bench::table::Table;
-use m2ndp_bench::geomean;
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
 
 fn main() {
-    let mut t = Table::new(vec!["workload", "Dirty20%", "Dirty40%", "Dirty80%"]);
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for w in GpuWorkload::sweep_subset() {
-        let mut clean_dev = m2ndp::SystemBuilder::m2ndp().units(8).build();
-        let clean = run_on_device(&mut clean_dev, Platform::M2ndp, w);
-        let mut cells = vec![w.label().to_string()];
-        for (i, ratio) in [0.2, 0.4, 0.8].iter().enumerate() {
-            let mut b = m2ndp::SystemBuilder::m2ndp().units(8).dirty_host_ratio(*ratio);
-            let _ = &mut b;
-            let mut dev = b.build();
-            let dirty = run_on_device(&mut dev, Platform::M2ndp, w);
-            assert!(dirty.stats.bi_snoops > 0, "BI must fire at {ratio}");
-            // Normalized runtime relative to the clean host cache.
-            let norm = clean.ns / dirty.ns;
-            cols[i].push(norm);
-            cells.push(format!("{norm:.3}"));
-        }
-        t.row(cells);
-    }
-    t.print("Fig. 13b — normalized runtime vs clean host cache (paper: 0.969 / 0.872 / 0.735)");
-    println!(
-        "geomeans: 20% {:.3}, 40% {:.3}, 80% {:.3} — BI latency largely hidden by FGMT",
-        geomean(&cols[0]),
-        geomean(&cols[1]),
-        geomean(&cols[2])
-    );
+    let (outs, metrics) = run_figure(FigId::Fig13b, false, 1, false);
+    print_figure(FigId::Fig13b, &outs, &metrics);
 }

@@ -1,10 +1,10 @@
 //! Fig. 15: energy and performance-per-energy, normalized to the baseline.
 
 use m2ndp::energy::EnergyModel;
+use m2ndp_bench::geomean;
 use m2ndp_bench::platforms::Platform;
 use m2ndp_bench::runner::{run, GpuWorkload};
 use m2ndp_bench::table::Table;
-use m2ndp_bench::geomean;
 
 fn main() {
     let workloads = [

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use m2ndp::cache::{Access, CacheConfig, SectoredCache};
 use m2ndp::mem::{DramConfig, DramDevice, MainMemory, MemReq, ReqId, ReqSource};
-use m2ndp::riscv::exec::{step, MainMemoryIface, ThreadCtx};
 use m2ndp::riscv::assemble;
+use m2ndp::riscv::exec::{step, MainMemoryIface, ThreadCtx};
 use m2ndp::sim::Frequency;
 
 fn bench_dram(c: &mut Criterion) {
@@ -41,7 +41,7 @@ fn bench_cache(c: &mut Criterion) {
             let mut cache: SectoredCache<u32> = SectoredCache::new(CacheConfig::ndp_l1d());
             let mut hits = 0u32;
             for i in 0..16_384u64 {
-                let addr = (i * 97) % (1 << 20) & !31;
+                let addr = ((i * 97) % (1 << 20)) & !31;
                 match cache.access(
                     i,
                     Access {

@@ -9,7 +9,11 @@ fn main() {
     let e = EngineConfig::m2ndp();
     let d = M2ndpConfig::default_device();
     let mut t = Table::new(vec!["parameter", "value", "Table IV"]);
-    t.row(vec!["NDP units".into(), e.units.to_string(), "32 @ 2 GHz".into()]);
+    t.row(vec![
+        "NDP units".into(),
+        e.units.to_string(),
+        "32 @ 2 GHz".into(),
+    ]);
     t.row(vec![
         "sub-cores/unit".to_string(),
         e.subcores_per_unit.to_string(),

@@ -4,7 +4,12 @@ use m2ndp::workloads::catalog;
 use m2ndp_bench::table::Table;
 
 fn main() {
-    let mut t = Table::new(vec!["workload", "baseline", "input problem", "data in CXL mem"]);
+    let mut t = Table::new(vec![
+        "workload",
+        "baseline",
+        "input problem",
+        "data in CXL mem",
+    ]);
     for e in catalog() {
         t.row(vec![e.name, e.baseline, e.input, e.cxl_data]);
     }

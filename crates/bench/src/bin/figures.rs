@@ -1,0 +1,219 @@
+//! `figures` — the parallel figure-sweep runner with machine-readable
+//! results and paper-anchored regression gates.
+//!
+//! ```text
+//! cargo run --release -p m2ndp_bench --bin figures -- [options]
+//!
+//!   --only fig10a,fig10c   run a subset of figures (default: all)
+//!   --fast                 the documented fast subset of each figure's grid
+//!   --jobs N               worker threads (default: available cores)
+//!   --check                gate the emitted ratios on the paper-anchored
+//!                          tolerance bands; nonzero exit on drift
+//!   --out DIR              output directory (default: target/figures)
+//!   --list                 list figures and bands, run nothing
+//!   --quiet                no tables / per-cell progress, just files + gate
+//! ```
+//!
+//! Emits one `DIR/<fig>.json` per figure plus a consolidated
+//! `DIR/BENCH_RESULTS.json`. Every cell builds its own deterministic
+//! device, so any `--jobs` value produces byte-identical JSON.
+
+use std::process::ExitCode;
+
+use m2ndp_bench::golden::{self, Verdict};
+use m2ndp_bench::sweep::{self, CellOut, FigId, Metric};
+
+struct Options {
+    only: Vec<FigId>,
+    fast: bool,
+    jobs: usize,
+    check: bool,
+    out: String,
+    list: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--only fig10a,fig10c,...] [--fast] [--jobs N] [--check] [--out DIR] \
+         [--list] [--quiet]\nfigures: {}",
+        FigId::all().map(FigId::id).join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        only: FigId::all().to_vec(),
+        fast: false,
+        jobs: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        check: false,
+        out: "target/figures".to_string(),
+        list: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                opts.only.clear();
+                for tok in list.split(',') {
+                    let fig = FigId::parse(tok.trim()).unwrap_or_else(|| {
+                        eprintln!("unknown figure `{tok}`");
+                        usage()
+                    });
+                    // Dedup: a repeated token would run its cells twice and
+                    // emit duplicate keys in the consolidated JSON.
+                    if !opts.only.contains(&fig) {
+                        opts.only.push(fig);
+                    }
+                }
+            }
+            "--fast" => opts.fast = true,
+            "--jobs" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.jobs = n.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects a positive integer, got `{n}`");
+                    usage()
+                });
+                if opts.jobs == 0 {
+                    eprintln!("--jobs must be >= 1");
+                    usage();
+                }
+            }
+            "--check" => opts.check = true,
+            "--out" => opts.out = args.next().unwrap_or_else(|| usage()),
+            "--list" => opts.list = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn list_figures(opts: &Options) {
+    println!("figures (cells full/fast):");
+    for fig in FigId::all() {
+        println!(
+            "  {:<7} {:>3} / {:<3} {}",
+            fig.id(),
+            sweep::cells(fig, false).len(),
+            sweep::cells(fig, true).len(),
+            fig.title()
+        );
+    }
+    println!("\ngolden bands ({}):", golden::bands().len());
+    for band in golden::bands() {
+        println!(
+            "  {:<48} [{} .. {}]  ({})",
+            band.metric, band.lo, band.hi, band.paper
+        );
+    }
+    let _ = opts;
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    if opts.list {
+        list_figures(&opts);
+        return ExitCode::SUCCESS;
+    }
+
+    // One flat cell list across the selected figures, so a wide figure
+    // keeps all workers busy while a narrow one finishes.
+    let mut all_cells = Vec::new();
+    let mut spans = Vec::new();
+    for &fig in &opts.only {
+        let specs = sweep::cells(fig, opts.fast);
+        spans.push((fig, all_cells.len()..all_cells.len() + specs.len()));
+        all_cells.extend(specs);
+    }
+    if !opts.quiet {
+        eprintln!(
+            "running {} cells across {} figure(s) with {} job(s){}",
+            all_cells.len(),
+            spans.len(),
+            opts.jobs,
+            if opts.fast { " (fast grid)" } else { "" }
+        );
+    }
+    let t0 = std::time::Instant::now();
+    let outs = sweep::run_cells(&all_cells, opts.jobs, !opts.quiet);
+    if !opts.quiet {
+        eprintln!("sweep finished in {:.1} s wall", t0.elapsed().as_secs_f64());
+    }
+
+    let results: Vec<(FigId, Vec<CellOut>, Vec<Metric>)> = spans
+        .into_iter()
+        .map(|(fig, span)| {
+            let figure_outs: Vec<CellOut> = outs[span].to_vec();
+            let metrics = sweep::derive(fig, &figure_outs);
+            (fig, figure_outs, metrics)
+        })
+        .collect();
+
+    // Emit per-figure JSON + the consolidated file.
+    let dir = std::path::Path::new(&opts.out);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::from(2);
+    }
+    for (fig, figure_outs, metrics) in &results {
+        let path = dir.join(format!("{}.json", fig.id()));
+        let text = sweep::figure_json(*fig, figure_outs, metrics).pretty();
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let consolidated = dir.join("BENCH_RESULTS.json");
+    let text = sweep::consolidated_json(&results, opts.fast).pretty();
+    if let Err(e) = std::fs::write(&consolidated, text + "\n") {
+        eprintln!("cannot write {}: {e}", consolidated.display());
+        return ExitCode::from(2);
+    }
+
+    if !opts.quiet {
+        for (fig, figure_outs, metrics) in &results {
+            println!();
+            sweep::print_figure(*fig, figure_outs, metrics);
+        }
+        println!("\nresults written to {}", consolidated.display());
+    }
+
+    if opts.check {
+        let report = golden::check(&sweep::consolidated_metrics(&results));
+        println!("\npaper-anchored gate ({} bands):", report.checked.len());
+        for c in &report.checked {
+            match &c.verdict {
+                Verdict::Pass { value } => println!(
+                    "  PASS {:<48} {value:.4} in [{} .. {}]",
+                    c.band.metric, c.band.lo, c.band.hi
+                ),
+                Verdict::Fail { value } => println!(
+                    "  FAIL {:<48} {value:.4} outside [{} .. {}]  ({})",
+                    c.band.metric, c.band.lo, c.band.hi, c.band.paper
+                ),
+                Verdict::Skipped => {
+                    if !opts.quiet {
+                        println!("  skip {:<48} (metric not emitted)", c.band.metric);
+                    }
+                }
+            }
+        }
+        println!(
+            "gate: {} evaluated, {} failed",
+            report.evaluated(),
+            report.failures().len()
+        );
+        if !report.passed() {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

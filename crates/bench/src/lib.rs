@@ -10,12 +10,23 @@
 //!   seconds; the BW ratios that drive the results are scale-invariant);
 //! * [`runner`] — runs one Table V workload on one platform end to end
 //!   (generate → launch → simulate → verify) and reports runtime and
-//!   device statistics.
+//!   device statistics;
+//! * [`sweep`] — the figure grids as independent cells, a thread-parallel
+//!   executor, derived paper-comparable metrics, and their serialization
+//!   (the `figures` CLI binary and the per-figure bench targets are both
+//!   thin fronts over it);
+//! * [`json`] — a dependency-free, deterministic JSON value used for the
+//!   emitted results;
+//! * [`golden`] — paper-anchored tolerance bands and the regression gate
+//!   behind `figures --check`.
 
 #![warn(missing_docs)]
 
+pub mod golden;
+pub mod json;
 pub mod platforms;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
 /// Geometric mean of a slice (0.0 for empty input).

@@ -16,6 +16,76 @@ use m2ndp::SystemBuilder;
 /// Unit-count divisor applied to every platform.
 pub const SCALE: u32 = 4;
 
+/// A configuration variant of a [`Platform`] — the knob one sensitivity or
+/// ablation cell turns relative to the platform default. Parameters are
+/// integers so variants stay `Copy + Eq` and produce stable cell keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The platform exactly as [`Platform::build`] makes it.
+    Default,
+    /// M²NDP at a non-default core clock, in MHz (Fig. 13a: 1000/3000).
+    M2FreqMhz(u32),
+    /// M²NDP without fine-grained µthread spawning: contexts spawn and
+    /// release in coarse 16-µthread batches (Fig. 12a ablation).
+    M2CoarseSpawn,
+    /// M²NDP without scalar units or the address-calculation optimization
+    /// (Fig. 12a ablation).
+    M2NoAddrOpt,
+    /// M²NDP with this percentage of kernel data dirty in the host cache,
+    /// forcing back-invalidations (Fig. 13b: 20/40/80).
+    M2DirtyPct(u32),
+    /// GPU baseline with the CXL load-to-use latency scaled by this factor
+    /// (Fig. 13a: 2/4).
+    BaselineLtuX(u32),
+}
+
+impl Variant {
+    /// A short stable suffix for cell keys ("" for the default).
+    pub fn key_suffix(&self) -> String {
+        match self {
+            Variant::Default => String::new(),
+            Variant::M2FreqMhz(mhz) => format!("@{}ghz", *mhz as f64 / 1000.0),
+            Variant::M2CoarseSpawn => "@coarse".into(),
+            Variant::M2NoAddrOpt => "@noaddr".into(),
+            Variant::M2DirtyPct(p) => format!("@dirty{p}"),
+            Variant::BaselineLtuX(x) => format!("@ltu{x}x"),
+        }
+    }
+
+    /// Builds `platform` with this variant applied. The M²NDP variants run
+    /// at the bench-scale 8 units (32 / [`SCALE`]), matching the devices the
+    /// Fig. 12a/13a/13b benches compare against.
+    pub fn build(&self, platform: Platform) -> CxlM2ndpDevice {
+        match self {
+            Variant::Default => platform.build(),
+            Variant::M2FreqMhz(mhz) => SystemBuilder::m2ndp()
+                .units(32 / SCALE)
+                .frequency(Frequency::ghz(f64::from(*mhz) / 1000.0))
+                .build(),
+            Variant::M2CoarseSpawn => {
+                let mut b = SystemBuilder::m2ndp().units(32 / SCALE);
+                b.config_mut().engine.spawn_batch_contexts = 16;
+                b.build()
+            }
+            Variant::M2NoAddrOpt => {
+                let mut b = SystemBuilder::m2ndp().units(32 / SCALE);
+                b.config_mut().engine.has_scalar_units = false;
+                b.config_mut().engine.addr_calc_overhead = 3;
+                b.build()
+            }
+            Variant::M2DirtyPct(pct) => SystemBuilder::m2ndp()
+                .units(32 / SCALE)
+                .dirty_host_ratio(f64::from(*pct) / 100.0)
+                .build(),
+            Variant::BaselineLtuX(x) => {
+                let mut b = SystemBuilder::gpu_baseline();
+                b.config_mut().engine.units = (82 / SCALE).max(1);
+                b.ltu_scale(f64::from(*x)).build()
+            }
+        }
+    }
+}
+
 /// The systems of Fig. 10c.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Platform {
@@ -119,5 +189,33 @@ mod tests {
         let iso = Platform::GpuNdpIsoFlops.build();
         let m2 = Platform::M2ndp.build();
         assert_eq!(iso.config().engine.units * 4, m2.config().engine.units);
+    }
+
+    #[test]
+    fn variants_apply_their_knob() {
+        let d = Variant::M2FreqMhz(3000).build(Platform::M2ndp);
+        assert!((d.config().engine.freq.as_ghz() - 3.0).abs() < 1e-9);
+
+        let d = Variant::M2CoarseSpawn.build(Platform::M2ndp);
+        assert_eq!(d.config().engine.spawn_batch_contexts, 16);
+
+        let d = Variant::M2NoAddrOpt.build(Platform::M2ndp);
+        assert!(!d.config().engine.has_scalar_units);
+
+        let d = Variant::M2DirtyPct(40).build(Platform::M2ndp);
+        assert!((d.config().dirty_host_ratio - 0.4).abs() < 1e-12);
+
+        let d = Variant::BaselineLtuX(4).build(Platform::GpuBaseline);
+        assert!(d.config().workload_data_remote);
+        let default = Variant::Default.build(Platform::GpuBaseline);
+        assert!(d.config().link.load_to_use_ns() > default.config().link.load_to_use_ns());
+    }
+
+    #[test]
+    fn variant_key_suffixes_are_stable() {
+        assert_eq!(Variant::Default.key_suffix(), "");
+        assert_eq!(Variant::M2FreqMhz(1000).key_suffix(), "@1ghz");
+        assert_eq!(Variant::M2DirtyPct(80).key_suffix(), "@dirty80");
+        assert_eq!(Variant::BaselineLtuX(2).key_suffix(), "@ltu2x");
     }
 }

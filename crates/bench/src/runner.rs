@@ -1,6 +1,7 @@
 //! Runs one Table V workload on one platform, end to end.
 
 use m2ndp::core::{CxlM2ndpDevice, DeviceStats};
+use m2ndp::sim::Snapshot as _;
 use m2ndp::workloads::{dlrm, graph, histo, opt, spmv};
 
 use crate::platforms::Platform;
@@ -82,7 +83,10 @@ pub struct RunResult {
     pub cycles: u64,
     /// Runtime in nanoseconds (clock-adjusted).
     pub ns: f64,
-    /// Device statistics snapshot at completion.
+    /// Device statistics for *this run* (counters are deltas from the
+    /// snapshot taken when the run started, so back-to-back runs on one
+    /// device don't bleed into each other; cumulative-ratio fields keep
+    /// their end-of-run values — see `DeviceStats::delta_since`).
     pub stats: DeviceStats,
 }
 
@@ -167,6 +171,7 @@ pub fn run_on_device(
     workload: GpuWorkload,
 ) -> RunResult {
     let spad_units = platform.spad_units_arg(dev);
+    let stats_at_start = dev.stats();
     let start = dev.now();
     match workload {
         GpuWorkload::Histo256 | GpuWorkload::Histo4096 => {
@@ -249,24 +254,7 @@ pub fn run_on_device(
     RunResult {
         cycles,
         ns,
-        stats: dev.stats(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn m2ndp_runs_and_beats_baseline_on_histo() {
-        let m2 = run(Platform::M2ndp, GpuWorkload::Histo256);
-        let base = run(Platform::GpuBaseline, GpuWorkload::Histo256);
-        let speedup = base.ns / m2.ns;
-        // The internal-BW vs link-BW ratio is 6.4; allow a broad band.
-        assert!(
-            speedup > 2.0,
-            "M2NDP should clearly beat the baseline: {speedup:.2}x"
-        );
+        stats: dev.stats().delta_since(&stats_at_start),
     }
 }
 
@@ -336,4 +324,21 @@ pub fn p95(latencies: &[f64]) -> f64 {
         h.record(l as u64);
     }
     h.percentile(0.95) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m2ndp_runs_and_beats_baseline_on_histo() {
+        let m2 = run(Platform::M2ndp, GpuWorkload::Histo256);
+        let base = run(Platform::GpuBaseline, GpuWorkload::Histo256);
+        let speedup = base.ns / m2.ns;
+        // The internal-BW vs link-BW ratio is 6.4; allow a broad band.
+        assert!(
+            speedup > 2.0,
+            "M2NDP should clearly beat the baseline: {speedup:.2}x"
+        );
+    }
 }

@@ -33,7 +33,10 @@ pub fn spad_aperture_offset(addr: u64) -> Option<(u32, u64)> {
         return None;
     }
     let rel = addr - SPAD_APERTURE_BASE;
-    Some(((rel / SPAD_APERTURE_STRIDE) as u32, rel % SPAD_APERTURE_STRIDE))
+    Some((
+        (rel / SPAD_APERTURE_STRIDE) as u32,
+        rel % SPAD_APERTURE_STRIDE,
+    ))
 }
 
 /// Timing/traffic model for one unit's scratchpad.

@@ -671,7 +671,10 @@ mod tests {
             c.access(0, rd(0x1000, 32), 2),
             CacheResult::Miss { .. }
         ));
-        assert!(matches!(c.access(0, rd(0x2000, 32), 3), CacheResult::Stalled));
+        assert!(matches!(
+            c.access(0, rd(0x2000, 32), 3),
+            CacheResult::Stalled
+        ));
         assert_eq!(c.stats().stalls.get(), 1);
     }
 
@@ -693,12 +696,18 @@ mod tests {
             c.pop_ready(10);
         }
         // Touch A so B becomes LRU.
-        assert!(matches!(c.access(20, rd(0x0, 32), 3), CacheResult::Hit { .. }));
+        assert!(matches!(
+            c.access(20, rd(0x0, 32), 3),
+            CacheResult::Hit { .. }
+        ));
         // Allocate C; B must be evicted, so B now misses while A still hits.
         c.access(21, rd(0x2000, 32), 4);
         c.fill(22, 0x2000);
         c.pop_ready(30);
-        assert!(matches!(c.access(31, rd(0x0, 32), 5), CacheResult::Hit { .. }));
+        assert!(matches!(
+            c.access(31, rd(0x0, 32), 5),
+            CacheResult::Hit { .. }
+        ));
         assert!(matches!(
             c.access(32, rd(0x1000, 32), 6),
             CacheResult::Miss { .. }
@@ -712,7 +721,10 @@ mod tests {
         c.fill(1, 0x0);
         c.pop_ready(10);
         c.invalidate_all();
-        assert!(matches!(c.access(20, rd(0x0, 32), 2), CacheResult::Miss { .. }));
+        assert!(matches!(
+            c.access(20, rd(0x0, 32), 2),
+            CacheResult::Miss { .. }
+        ));
     }
 
     #[test]

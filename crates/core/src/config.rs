@@ -140,7 +140,7 @@ impl EngineConfig {
     pub fn gpu_ndp(sms: u32, freq: Frequency, tb_warps: u32) -> Self {
         Self {
             units: sms,
-            subcores_per_unit: 4, // 4 warp schedulers per SM
+            subcores_per_unit: 4,  // 4 warp schedulers per SM
             slots_per_subcore: 12, // 48 warps per SM / 4 schedulers
             dispatch_width: 1,
             scalar_alus: 0,
@@ -188,8 +188,7 @@ impl EngineConfig {
     /// Register bytes one context of a kernel with the given per-thread
     /// register counts occupies.
     pub fn context_reg_bytes(&self, int_regs: u8, float_regs: u8, vector_regs: u8) -> u32 {
-        let per_thread =
-            int_regs as u32 * 8 + float_regs as u32 * 8 + vector_regs as u32 * 32;
+        let per_thread = int_regs as u32 * 8 + float_regs as u32 * 8 + vector_regs as u32 * 32;
         per_thread * self.threads_per_context
     }
 }

@@ -1,5 +1,5 @@
-//! The CXL-M²NDP device (Fig. 3): CXL port + packet filter + NDP controller
-//! + NDP units, connected through on-chip crossbars to memory-side L2
+//! The CXL-M²NDP device (Fig. 3): CXL port, packet filter, NDP controller
+//! and NDP units, connected through on-chip crossbars to memory-side L2
 //! slices and the internal LPDDR5 channels.
 //!
 //! The same structure also serves as a *passive* CXL memory expander (host
@@ -72,7 +72,9 @@ struct L2Slice {
 /// Where a DRAM completion routes.
 #[derive(Debug, Clone, Copy)]
 enum DramOrigin {
-    L2Fill { slice: u16 },
+    L2Fill {
+        slice: u16,
+    },
     /// Write traffic (no response routing needed).
     Drain,
 }
@@ -149,6 +151,66 @@ pub struct DeviceStats {
     pub bi_snoops: u64,
 }
 
+/// A scalar statistic value that preserves integer-ness, so counters
+/// serialize exactly while rates keep their fractional precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatValue {
+    /// An exact event/byte/cycle count.
+    U64(u64),
+    /// A derived rate or utilization in `[0, 1]`-ish space.
+    F64(f64),
+}
+
+impl DeviceStats {
+    /// Every statistic as a `(name, value)` pair, in a fixed documented
+    /// order — the single source of truth for serializers (the `figures`
+    /// sweep harness) and table printers, so adding a field here is the only
+    /// step needed to get it into emitted results.
+    pub fn metrics(&self) -> [(&'static str, StatValue); 13] {
+        [
+            ("cycles", StatValue::U64(self.cycles)),
+            ("dram_bytes", StatValue::U64(self.dram_bytes)),
+            ("dram_row_hit_rate", StatValue::F64(self.dram_row_hit_rate)),
+            (
+                "dram_bw_utilization",
+                StatValue::F64(self.dram_bw_utilization),
+            ),
+            ("link_m2s_bytes", StatValue::U64(self.link_m2s_bytes)),
+            ("link_s2m_bytes", StatValue::U64(self.link_s2m_bytes)),
+            ("l2_accesses", StatValue::U64(self.l2_accesses)),
+            ("l2_hit_rate", StatValue::F64(self.l2_hit_rate)),
+            ("instrs", StatValue::U64(self.instrs)),
+            ("mem_reqs", StatValue::U64(self.mem_reqs)),
+            ("spad_bytes", StatValue::U64(self.spad_bytes)),
+            ("l1_hits", StatValue::U64(self.l1_hits)),
+            ("bi_snoops", StatValue::U64(self.bi_snoops)),
+        ]
+    }
+}
+
+impl m2ndp_sim::Snapshot for DeviceStats {
+    /// Monotone counts subtract; the derived ratios (`dram_row_hit_rate`,
+    /// `dram_bw_utilization`, `l2_hit_rate`) cannot be un-averaged, so the
+    /// delta keeps the end-of-interval cumulative value.
+    fn delta_since(&self, baseline: &Self) -> Self {
+        DeviceStats {
+            cycles: self.cycles.saturating_sub(baseline.cycles),
+            dram_bytes: self.dram_bytes.saturating_sub(baseline.dram_bytes),
+            dram_row_hit_rate: self.dram_row_hit_rate,
+            dram_bw_utilization: self.dram_bw_utilization,
+            link_m2s_bytes: self.link_m2s_bytes.saturating_sub(baseline.link_m2s_bytes),
+            link_s2m_bytes: self.link_s2m_bytes.saturating_sub(baseline.link_s2m_bytes),
+            l2_accesses: self.l2_accesses.saturating_sub(baseline.l2_accesses),
+            l2_hit_rate: self.l2_hit_rate,
+            instrs: self.instrs.saturating_sub(baseline.instrs),
+            mem_reqs: self.mem_reqs.saturating_sub(baseline.mem_reqs),
+            spad_bytes: self.spad_bytes.saturating_sub(baseline.spad_bytes),
+            l1_hits: self.l1_hits.saturating_sub(baseline.l1_hits),
+            bi_snoops: self.bi_snoops.saturating_sub(baseline.bi_snoops),
+        }
+    }
+}
+
 /// The CXL-M²NDP device.
 #[derive(Debug)]
 pub struct CxlM2ndpDevice {
@@ -188,11 +250,7 @@ impl CxlM2ndpDevice {
         let units = cfg.engine.units as usize;
         let engine = Engine::new(cfg.engine.clone());
         let local = MemSystem::new(&cfg, units + 1); // +1 = CXL/host port
-        let bi = BackInvalidation::new(
-            cfg.dirty_host_ratio,
-            cfg.link.one_way_ns,
-            cfg.engine.freq,
-        );
+        let bi = BackInvalidation::new(cfg.dirty_host_ratio, cfg.link.one_way_ns, cfg.engine.freq);
         let link = CxlLink::new(cfg.link, cfg.engine.freq);
         Self {
             engine,
@@ -328,7 +386,10 @@ impl CxlM2ndpDevice {
                 // The kernel code itself is registered through
                 // `register_kernel` (the model's stand-in for code placed in
                 // device memory); the packet path only allocates the id.
-                (M2Func::RegisterKernel.offset(), NdpApiError::BadArguments.code())
+                (
+                    M2Func::RegisterKernel.offset(),
+                    NdpApiError::BadArguments.code(),
+                )
             }
             M2FuncCall::ShootdownTlbEntry { .. } => (
                 M2Func::ShootdownTlbEntry.offset(),
@@ -360,7 +421,7 @@ impl CxlM2ndpDevice {
     /// request id; the completion surfaces from [`Self::pop_host_completion`]
     /// after the full link + device round trip.
     pub fn host_submit(&mut self, now: Cycle, addr: u64, bytes: u32, write: bool) -> ReqId {
-        let id = self.ids.next();
+        let id = self.ids.alloc();
         let req = if write {
             MemReq::write(id, addr, bytes, ReqSource::Host)
         } else {
@@ -415,7 +476,11 @@ impl CxlM2ndpDevice {
                 && self.host_inbound.is_empty()
                 && self.host_done.is_empty()
                 && self.unit_deliveries.is_empty()
-                && self.local.slices.iter().all(|s| s.inbox.is_empty() && s.to_dram.is_empty())
+                && self
+                    .local
+                    .slices
+                    .iter()
+                    .all(|s| s.inbox.is_empty() && s.to_dram.is_empty())
                 && self.local.dram.is_idle()
                 && self
                     .remote
@@ -500,25 +565,29 @@ impl CxlM2ndpDevice {
                 let kind = req.kind;
                 let snoop = CxlMemPacket {
                     kind: m2ndp_cxl::PacketKind::BackInvSnoop,
-                    req: MemReq::read(self.ids.next(), req.addr, req.bytes, ReqSource::Internal),
+                    req: MemReq::read(self.ids.alloc(), req.addr, req.bytes, ReqSource::Internal),
                 };
                 let snooped = self.link.send_s2m(now, snoop);
                 let supply = CxlMemPacket::write(MemReq::write(
-                    self.ids.next(),
+                    self.ids.alloc(),
                     req.addr,
                     64,
                     ReqSource::Host,
                 ));
                 let supplied = self.link.send_m2s(snooped, supply);
-                self.unit_deliveries
-                    .schedule(supplied.max(now + outcome.extra_latency), (unit, kind, req.addr));
+                self.unit_deliveries.schedule(
+                    supplied.max(now + outcome.extra_latency),
+                    (unit, kind, req.addr),
+                );
                 return;
             }
         }
         let remote = req.addr >= REMOTE_WINDOW_BASE
             || (self.cfg.workload_data_remote && req.addr < crate::tlb::DRAM_TLB_BASE);
         let sys = if remote {
-            self.remote.as_mut().expect("remote window access without remote memory")
+            self.remote
+                .as_mut()
+                .expect("remote window access without remote memory")
         } else {
             &mut self.local
         };
@@ -526,7 +595,7 @@ impl CxlM2ndpDevice {
         let mut arrival = sys.xbar_req.route(now, unit, channel, req.bytes);
         if remote {
             // Crossing the CXL link to the peer/expander memory.
-            let id = self.ids.next();
+            let id = self.ids.alloc();
             let mreq = MemReq::read(id, req.addr, req.bytes, ReqSource::Peer { device: 0 });
             let pkt = if req.write {
                 CxlMemPacket::write(mreq)
@@ -644,7 +713,7 @@ impl CxlM2ndpDevice {
                     CacheResult::MergedMiss => {}
                     CacheResult::Miss { fetches, writeback } => {
                         for f in fetches {
-                            let id = self.ids.next();
+                            let id = self.ids.alloc();
                             let r = MemReq::read(id, f, SECTOR_BYTES as u32, ReqSource::Internal);
                             sys.dram_origin.insert(
                                 id,
@@ -657,7 +726,7 @@ impl CxlM2ndpDevice {
                             }
                         }
                         if let Some((wb_addr, wb_bytes)) = writeback {
-                            let id = self.ids.next();
+                            let id = self.ids.alloc();
                             let r = MemReq::write(id, wb_addr, wb_bytes, ReqSource::Internal);
                             sys.dram_origin.insert(id, DramOrigin::Drain);
                             if let Err(r) = sys.dram.enqueue(now, r) {
@@ -670,10 +739,7 @@ impl CxlM2ndpDevice {
                     }
                     CacheResult::Stalled => {
                         // Retry next cycle.
-                        sys.slices[slice_idx].inbox.schedule(
-                            now + 1,
-                            work,
-                        );
+                        sys.slices[slice_idx].inbox.schedule(now + 1, work);
                     }
                 }
             }
@@ -924,7 +990,9 @@ mod tests {
             dev.memory_mut().write_u32(base + i * 4, 1);
         }
         let kid = dev.register_kernel(vec_double());
-        let inst = dev.launch(LaunchArgs::new(kid, base, base + 2048 * 4)).unwrap();
+        let inst = dev
+            .launch(LaunchArgs::new(kid, base, base + 2048 * 4))
+            .unwrap();
         // Host keeps reading unrelated memory while the kernel runs.
         let mut completions = 0;
         let mut submitted = 0;
@@ -962,7 +1030,9 @@ mod tests {
             dev.memory_mut().write_u32(base + i * 4, 5);
         }
         let kid = dev.register_kernel(vec_double());
-        let inst = dev.launch(LaunchArgs::new(kid, base, base + 512 * 4)).unwrap();
+        let inst = dev
+            .launch(LaunchArgs::new(kid, base, base + 512 * 4))
+            .unwrap();
         dev.run_until_finished(inst);
         assert_eq!(dev.memory().read_u32(base), 10);
         assert!(
@@ -983,7 +1053,9 @@ mod tests {
                 dev.memory_mut().write_u32(base + i * 4, 3);
             }
             let kid = dev.register_kernel(vec_double());
-            let inst = dev.launch(LaunchArgs::new(kid, base, base + 4096 * 4)).unwrap();
+            let inst = dev
+                .launch(LaunchArgs::new(kid, base, base + 4096 * 4))
+                .unwrap();
             let t = dev.run_until_finished(inst);
             assert_eq!(dev.memory().read_u32(base), 6);
             (t, dev.stats().bi_snoops)
@@ -1000,7 +1072,9 @@ mod tests {
     #[test]
     fn launch_unknown_kernel_errors() {
         let mut dev = small_device();
-        let err = dev.launch(LaunchArgs::new(KernelId(99), 0, 64)).unwrap_err();
+        let err = dev
+            .launch(LaunchArgs::new(KernelId(99), 0, 64))
+            .unwrap_err();
         assert_eq!(err, crate::NdpApiError::UnknownKernel);
     }
 }

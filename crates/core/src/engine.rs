@@ -179,18 +179,28 @@ fn fu_of(instr: &Instr, has_scalar: bool) -> FuKind {
         }
     };
     match instr {
-        Instr::Load { .. } | Instr::Store { .. } | Instr::Amo { .. } | Instr::FLoad { .. }
+        Instr::Load { .. }
+        | Instr::Store { .. }
+        | Instr::Amo { .. }
+        | Instr::FLoad { .. }
         | Instr::FStore { .. } => scalar(FuKind::SLsu),
         Instr::VLoad { .. } | Instr::VStore { .. } | Instr::VAmo { .. } => FuKind::VLsu,
-        Instr::Op { op, .. } if matches!(op, m2ndp_riscv::instr::IntOp::Div
-            | m2ndp_riscv::instr::IntOp::Divu
-            | m2ndp_riscv::instr::IntOp::Rem
-            | m2ndp_riscv::instr::IntOp::Remu) => scalar(FuKind::SSfu),
-        Instr::FOp { op, .. } if matches!(op, FpOp::Div | FpOp::Sqrt | FpOp::Exp) => {
-            scalar(FuKind::SSfu)
-        }
-        Instr::VFpOp { op, .. } if matches!(op, m2ndp_riscv::instr::VFpOp::Div
-            | m2ndp_riscv::instr::VFpOp::Exp) => FuKind::VSfu,
+        Instr::Op {
+            op:
+                m2ndp_riscv::instr::IntOp::Div
+                | m2ndp_riscv::instr::IntOp::Divu
+                | m2ndp_riscv::instr::IntOp::Rem
+                | m2ndp_riscv::instr::IntOp::Remu,
+            ..
+        } => scalar(FuKind::SSfu),
+        Instr::FOp {
+            op: FpOp::Div | FpOp::Sqrt | FpOp::Exp,
+            ..
+        } => scalar(FuKind::SSfu),
+        Instr::VFpOp {
+            op: m2ndp_riscv::instr::VFpOp::Div | m2ndp_riscv::instr::VFpOp::Exp,
+            ..
+        } => FuKind::VSfu,
         i if i.is_vector() => FuKind::VAlu,
         _ => scalar(FuKind::SAlu),
     }
@@ -492,11 +502,14 @@ impl Engine {
         if self.queued.iter().any(|i| i.id == id) {
             return Some(InstanceStatus::Pending);
         }
-        self.instances.iter().find(|i| i.id == id).map(|i| match i.phase {
-            InstPhase::Done => InstanceStatus::Finished,
-            InstPhase::Pending => InstanceStatus::Pending,
-            _ => InstanceStatus::Running,
-        })
+        self.instances
+            .iter()
+            .find(|i| i.id == id)
+            .map(|i| match i.phase {
+                InstPhase::Done => InstanceStatus::Finished,
+                InstPhase::Pending => InstanceStatus::Pending,
+                _ => InstanceStatus::Running,
+            })
     }
 
     /// Completion cycle of an instance, if finished.
@@ -509,11 +522,7 @@ impl Engine {
 
     /// Whether all submitted work has completed.
     pub fn is_idle(&self) -> bool {
-        self.queued.is_empty()
-            && self
-                .instances
-                .iter()
-                .all(|i| i.phase == InstPhase::Done)
+        self.queued.is_empty() && self.instances.iter().all(|i| i.phase == InstPhase::Done)
     }
 
     /// Pops an outbound memory request from a unit.
@@ -646,7 +655,13 @@ impl Engine {
         self.cfg.spad_bytes_per_unit as u64 - ARG_BLOCK_BYTES * (1 + arg_slot as u64)
     }
 
-    fn write_arg_block(&self, mem: &mut MainMemory, spad_unit: u32, inst: &Instance, init_count: u64) {
+    fn write_arg_block(
+        &self,
+        mem: &mut MainMemory,
+        spad_unit: u32,
+        inst: &Instance,
+        init_count: u64,
+    ) {
         let off = self.arg_block_off(inst.arg_slot);
         let base = spad_backing_addr(spad_unit, off);
         let words = [
@@ -687,31 +702,29 @@ impl Engine {
                 (inst.phase, inst.arg_slot)
             };
             match phase {
-                InstPhase::Init | InstPhase::Fini => {
-                    loop {
-                        let inst = &self.instances[inst_idx];
-                        if inst.once_spawned >= total_slots {
-                            break;
-                        }
-                        let uid = inst.once_spawned;
-                        let unit_idx = (uid as usize) % units;
-                        let reg_bytes = inst.ctx_reg_bytes;
-                        let Some(ss) = self.take_slot(unit_idx, reg_bytes) else {
-                            break;
-                        };
-                        let prog_phase = if phase == InstPhase::Init {
-                            Phase::Init
-                        } else {
-                            Phase::Fini
-                        };
-                        let arg_va = self.arg_block_va(id);
-                        let mut ctx = ThreadCtx::spawned(0, uid as u64);
-                        ctx.x[3] = arg_va;
-                        self.place(unit_idx, ss, inst_idx, prog_phase, vec![ctx], None, 1);
-                        self.instances[inst_idx].once_spawned += 1;
-                        self.instances[inst_idx].outstanding += 1;
+                InstPhase::Init | InstPhase::Fini => loop {
+                    let inst = &self.instances[inst_idx];
+                    if inst.once_spawned >= total_slots {
+                        break;
                     }
-                }
+                    let uid = inst.once_spawned;
+                    let unit_idx = (uid as usize) % units;
+                    let reg_bytes = inst.ctx_reg_bytes;
+                    let Some(ss) = self.take_slot(unit_idx, reg_bytes) else {
+                        break;
+                    };
+                    let prog_phase = if phase == InstPhase::Init {
+                        Phase::Init
+                    } else {
+                        Phase::Fini
+                    };
+                    let arg_va = self.arg_block_va(id);
+                    let mut ctx = ThreadCtx::spawned(0, uid as u64);
+                    ctx.x[3] = arg_va;
+                    self.place(unit_idx, ss, inst_idx, prog_phase, vec![ctx], None, 1);
+                    self.instances[inst_idx].once_spawned += 1;
+                    self.instances[inst_idx].outstanding += 1;
+                },
                 InstPhase::Body => {
                     // Fill free slots unit by unit with that unit's granules.
                     for unit_idx in 0..units {
@@ -783,7 +796,11 @@ impl Engine {
                 self.units[unit_idx].tbs.push(TbGroup {
                     instance: inst_idx,
                     members: members.clone(),
-                    state: if has_init { TbState::Init } else { TbState::Body },
+                    state: if has_init {
+                        TbState::Init
+                    } else {
+                        TbState::Body
+                    },
                     remaining: 0,
                     spad_unit,
                     live: true,
@@ -808,7 +825,15 @@ impl Engine {
                         if j == 0 {
                             let mut ctx = ThreadCtx::spawned(0, 0);
                             ctx.x[3] = arg_va;
-                            self.place(unit_idx, *ss, inst_idx, Phase::Init, vec![ctx], Some(tb_idx), 1);
+                            self.place(
+                                unit_idx,
+                                *ss,
+                                inst_idx,
+                                Phase::Init,
+                                vec![ctx],
+                                Some(tb_idx),
+                                1,
+                            );
                             self.units[unit_idx].subcores[ss.subcore as usize].slots
                                 [ss.slot as usize]
                                 .spans = spans;
@@ -927,6 +952,9 @@ impl Engine {
         Some(ss)
     }
 
+    // Takes the full placement tuple; bundling it into a struct would only
+    // move the argument list one call deeper.
+    #[allow(clippy::too_many_arguments)]
     fn place(
         &mut self,
         unit_idx: usize,
@@ -953,7 +981,9 @@ impl Engine {
         sc.ready.push_back(ss.slot);
         unit.active_contexts += 1;
         if self.cfg.addr_calc_overhead > 0 {
-            self.stats.addr_calc_instrs.add(self.cfg.addr_calc_overhead as u64);
+            self.stats
+                .addr_calc_instrs
+                .add(self.cfg.addr_calc_overhead as u64);
         }
     }
 
@@ -1001,12 +1031,7 @@ impl Engine {
             let (min_pc, spec, slot_phase) = {
                 let slot = &self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize];
                 let inst = &self.instances[slot.instance];
-                let min_pc = slot
-                    .ctxs
-                    .iter()
-                    .filter(|c| !c.done)
-                    .map(|c| c.pc)
-                    .min();
+                let min_pc = slot.ctxs.iter().filter(|c| !c.done).map(|c| c.pc).min();
                 (min_pc, inst.spec.clone(), slot.phase)
             };
             let prog = match slot_phase {
@@ -1021,8 +1046,7 @@ impl Engine {
             };
             let Some(next_instr) = prog.fetch(min_pc) else {
                 // Program ran off the end: treat as halt for robustness.
-                for c in &mut self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize].ctxs
-                {
+                for c in &mut self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize].ctxs {
                     c.done = true;
                 }
                 self.retire_slot(now, unit_idx, sc_idx, slot_idx);
@@ -1039,7 +1063,9 @@ impl Engine {
             };
             if *counter == 0 {
                 // Structural hazard: rotate to the back, try another slot.
-                self.units[unit_idx].subcores[sc_idx].ready.push_back(slot_idx);
+                self.units[unit_idx].subcores[sc_idx]
+                    .ready
+                    .push_back(slot_idx);
                 continue;
             }
             *counter -= 1;
@@ -1085,7 +1111,7 @@ impl Engine {
                     continue;
                 }
                 lanes += 1;
-                match step(ctx, &prog, &mut iface) {
+                match step(ctx, prog, &mut iface) {
                     Ok(effect) => {
                         match &effect {
                             Effect::Mem(op) => memops.push(*op),
@@ -1187,8 +1213,7 @@ impl Engine {
         let mut global_writes: Vec<(u64, u32)> = Vec::new();
         let mut global_amos: Vec<(u64, u32)> = Vec::new();
         for op in memops {
-            if (SPAD_APERTURE_BASE..SPAD_APERTURE_BASE + SPAD_APERTURE_STRIDE).contains(&op.addr)
-            {
+            if (SPAD_APERTURE_BASE..SPAD_APERTURE_BASE + SPAD_APERTURE_STRIDE).contains(&op.addr) {
                 let unit = &mut self.units[unit_idx];
                 let ready = unit.spad.access(now, op.bytes, op.write, op.amo);
                 max_local_ready = max_local_ready.max(ready);
@@ -1381,15 +1406,12 @@ impl Engine {
             }
             Some(tb_idx) => {
                 // TB mode: try the next grid-stride span first.
-                if phase == Phase::Body
-                    && self.start_next_span(unit_idx, ss, inst_idx, tb_idx)
-                {
+                if phase == Phase::Body && self.start_next_span(unit_idx, ss, inst_idx, tb_idx) {
                     return;
                 }
                 // Member finished its TB phase; park until the TB releases.
                 {
-                    let slot =
-                        &mut self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize];
+                    let slot = &mut self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize];
                     slot.state = SlotState::Parked;
                 }
                 let done = {
@@ -1552,7 +1574,10 @@ impl Engine {
             let off = self.arg_block_off(inst.arg_slot);
             for u in 0..self.cfg.units {
                 let base = spad_backing_addr(u, off);
-                mem.write_u64(base + (argblock::BODY_ITER as u64) * 8, inst.body_iter as u64);
+                mem.write_u64(
+                    base + (argblock::BODY_ITER as u64) * 8,
+                    inst.body_iter as u64,
+                );
             }
         }
     }
@@ -1656,8 +1681,7 @@ mod tests {
         let base = 0x10_0000u64;
         let spec = Arc::new(vec_double_kernel());
         let granules = 2048u64;
-        let launch =
-            LaunchArgs::new(crate::kernel::KernelId(0), base, base + granules * 32);
+        let launch = LaunchArgs::new(crate::kernel::KernelId(0), base, base + granules * 32);
         engine.launch(0, KernelInstanceId(0), spec, launch);
         let t = run_to_completion(&mut engine, &mut mem, 400);
         assert!(t < 100_000, "FGMT failed to overlap latency: {t} cycles");
@@ -1898,8 +1922,7 @@ mod tests {
         let mut engine = Engine::new(small_cfg());
         let mut mem = MainMemory::new();
         let spec = Arc::new(vec_double_kernel());
-        let launch =
-            LaunchArgs::new(crate::kernel::KernelId(0), 0x10_0000, 0x10_0000 + 32 * 4096);
+        let launch = LaunchArgs::new(crate::kernel::KernelId(0), 0x10_0000, 0x10_0000 + 32 * 4096);
         engine.launch(0, KernelInstanceId(0), spec, launch);
         engine.tick(0, &mut mem);
         assert!(engine.active_contexts() > 0);

@@ -36,7 +36,7 @@ pub mod multi;
 pub mod tlb;
 
 pub use config::{EngineConfig, M2ndpConfig};
-pub use device::{CxlM2ndpDevice, DeviceStats};
+pub use device::{CxlM2ndpDevice, DeviceStats, StatValue};
 pub use engine::Engine;
 pub use kernel::{KernelId, KernelInstanceId, KernelSpec, LaunchArgs};
 pub use m2func::{M2Func, NdpApiError};

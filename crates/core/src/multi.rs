@@ -140,7 +140,10 @@ mod tests {
         };
         let big = mk(1_000_000).speedup_over(8_000_000);
         let small = mk(50_000).speedup_over(400_000);
-        assert!(small < big, "small model {small} should scale worse than {big}");
+        assert!(
+            small < big,
+            "small model {small} should scale worse than {big}"
+        );
     }
 
     #[test]

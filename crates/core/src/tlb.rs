@@ -167,7 +167,11 @@ mod tests {
             assert!(a.is_multiple_of(16));
             seen.insert(a);
         }
-        assert!(seen.len() > 990, "hash should rarely collide: {}", seen.len());
+        assert!(
+            seen.len() > 990,
+            "hash should rarely collide: {}",
+            seen.len()
+        );
     }
 
     #[test]

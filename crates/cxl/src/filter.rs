@@ -169,14 +169,20 @@ mod tests {
     fn overlap_rejected() {
         let mut f = PacketFilter::new();
         f.insert(entry(0x10000, 0x20000, 1)).unwrap();
-        assert_eq!(f.insert(entry(0x1F000, 0x21000, 2)), Err(FilterError::Overlap));
+        assert_eq!(
+            f.insert(entry(0x1F000, 0x21000, 2)),
+            Err(FilterError::Overlap)
+        );
         assert_eq!(f.insert(entry(0x0, 0x10001, 2)), Err(FilterError::Overlap));
     }
 
     #[test]
     fn empty_region_rejected() {
         let mut f = PacketFilter::new();
-        assert_eq!(f.insert(entry(0x10, 0x10, 1)), Err(FilterError::EmptyRegion));
+        assert_eq!(
+            f.insert(entry(0x10, 0x10, 1)),
+            Err(FilterError::EmptyRegion)
+        );
     }
 
     #[test]

@@ -192,12 +192,7 @@ mod tests {
         // 64 GB/s at 2 GHz = 32 B/cycle; an 80 B DRS occupies 2.5 cycles.
         let mut last = 0;
         for i in 0..100 {
-            let pkt = CxlMemPacket::data_response(MemReq::read(
-                ReqId(i),
-                0,
-                64,
-                ReqSource::Host,
-            ));
+            let pkt = CxlMemPacket::data_response(MemReq::read(ReqId(i), 0, 64, ReqSource::Host));
             last = l.send_s2m(0, pkt);
         }
         // 100 * 80 B / 32 B-per-cycle = 250 cycles of serialization + wire.

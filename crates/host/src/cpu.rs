@@ -107,9 +107,7 @@ impl HostCpu {
         match home {
             DataHome::LocalDram => (self.cfg.local_latency_ns, self.cfg.local_bw),
             DataHome::CxlExpander => (self.cfg.cxl_latency_ns, self.cfg.cxl_bw),
-            DataHome::DeviceInternal => {
-                (self.cfg.internal_latency_ns, self.cfg.internal_bw)
-            }
+            DataHome::DeviceInternal => (self.cfg.internal_latency_ns, self.cfg.internal_bw),
         }
     }
 

@@ -36,8 +36,7 @@ impl NsuModel {
     /// NDP memory accesses moving `data_bytes` of device-internal data and
     /// returning `result_bytes` to the host.
     pub fn runtime_s(&self, accesses: u64, data_bytes: u64, result_bytes: u64) -> f64 {
-        let command_time =
-            (accesses * self.command_bytes_per_access as u64) as f64 / self.link_bw;
+        let command_time = (accesses * self.command_bytes_per_access as u64) as f64 / self.link_bw;
         let result_time = result_bytes as f64 / self.link_bw;
         let dram_time = data_bytes as f64 / self.internal_bw;
         (command_time + result_time).max(dram_time)

@@ -53,7 +53,11 @@ impl OffloadModel {
 
     /// Default-parameter model for a mechanism.
     pub fn with_defaults(mechanism: OffloadMechanism) -> Self {
-        Self::new(mechanism, CxlLinkConfig::default_150ns(), CxlIoModel::default())
+        Self::new(
+            mechanism,
+            CxlLinkConfig::default_150ns(),
+            CxlIoModel::default(),
+        )
     }
 
     /// The mechanism.
@@ -216,8 +220,11 @@ mod tests {
         let rate = 1.0e7; // 10M req/s offered
         let m2 = OffloadSim::new(OffloadModel::with_defaults(OffloadMechanism::M2Func), 48)
             .run(20_000, rate, &service, 42);
-        let dr = OffloadSim::new(OffloadModel::with_defaults(OffloadMechanism::CxlIoDirect), 48)
-            .run(20_000, rate, &service, 42);
+        let dr = OffloadSim::new(
+            OffloadModel::with_defaults(OffloadMechanism::CxlIoDirect),
+            48,
+        )
+        .run(20_000, rate, &service, 42);
         assert!(
             m2.throughput > 10.0 * dr.throughput,
             "M2func {:.2e} vs direct {:.2e}",

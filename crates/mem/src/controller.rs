@@ -214,7 +214,9 @@ impl DramChannel {
         // Data burst occupies the channel bus; CAS latency before first beat.
         let data_start = self.bus.earliest(col + self.t_cl);
         let bursts = req.bytes.div_ceil(self.access_bytes).max(1) as u64;
-        let done = self.bus.consume(data_start, bursts * self.access_bytes as u64);
+        let done = self
+            .bus
+            .consume(data_start, bursts * self.access_bytes as u64);
 
         match outcome {
             RowOutcome::Hit => self.stats.row_hits.inc(),

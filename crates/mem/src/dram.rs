@@ -106,7 +106,9 @@ impl DramDevice {
             return 0.0;
         }
         let achieved = self.total_bytes() as f64 / elapsed as f64; // B/cycle
-        let peak = self.owner.bytes_per_cycle(self.config.peak_bw_bytes_per_sec);
+        let peak = self
+            .owner
+            .bytes_per_cycle(self.config.peak_bw_bytes_per_sec);
         (achieved / peak).min(1.0)
     }
 
@@ -160,7 +162,11 @@ mod tests {
             util > 0.75,
             "sequential stream should approach peak BW, got {util:.2} ({last_done} cycles)"
         );
-        assert!(dev.row_hit_rate() > 0.8, "row hit rate {}", dev.row_hit_rate());
+        assert!(
+            dev.row_hit_rate() > 0.8,
+            "row hit rate {}",
+            dev.row_hit_rate()
+        );
     }
 
     #[test]

@@ -92,8 +92,8 @@ impl ReqIdAllocator {
         Self::default()
     }
 
-    /// Returns a fresh id.
-    pub fn next(&mut self) -> ReqId {
+    /// Allocates a fresh id.
+    pub fn alloc(&mut self) -> ReqId {
         let id = ReqId(self.0);
         self.0 += 1;
         id
@@ -107,8 +107,8 @@ mod tests {
     #[test]
     fn ids_are_unique_and_ordered() {
         let mut a = ReqIdAllocator::new();
-        let x = a.next();
-        let y = a.next();
+        let x = a.alloc();
+        let y = a.alloc();
         assert_ne!(x, y);
         assert!(x < y);
     }

@@ -134,7 +134,10 @@ mod tests {
         let mut xbar = Crossbar::new(CrossbarConfig::device_32x32());
         let a = xbar.route(0, 0, 5, 32);
         let b = xbar.route(0, 1, 5, 32);
-        assert!(b > a, "same-destination transfers must serialize: {a} vs {b}");
+        assert!(
+            b > a,
+            "same-destination transfers must serialize: {a} vs {b}"
+        );
     }
 
     #[test]

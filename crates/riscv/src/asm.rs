@@ -247,7 +247,11 @@ fn split_line(raw: &str) -> LineParts<'_> {
     }
     let s = s.trim();
     let (label, rest) = match s.find(':') {
-        Some(pos) if s[..pos].chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') => {
+        Some(pos)
+            if s[..pos]
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '.') =>
+        {
             (Some(s[..pos].trim()), s[pos + 1..].trim())
         }
         _ => (None, s),
@@ -312,13 +316,10 @@ fn lookup_label(
     name: &str,
     line: usize,
 ) -> Result<usize, AsmError> {
-    labels
-        .get(name)
-        .copied()
-        .ok_or_else(|| AsmError {
-            line,
-            message: format!("unknown label `{name}`"),
-        })
+    labels.get(name).copied().ok_or_else(|| AsmError {
+        line,
+        message: format!("unknown label `{name}`"),
+    })
 }
 
 #[allow(clippy::too_many_lines)]
@@ -332,10 +333,7 @@ fn parse_instr(
         if ops.len() == n {
             Ok(())
         } else {
-            err(
-                ln,
-                format!("`{m}` expects {n} operands, got {}", ops.len()),
-            )
+            err(ln, format!("`{m}` expects {n} operands, got {}", ops.len()))
         }
     };
 
@@ -597,12 +595,10 @@ fn parse_instr(
         _ if m.starts_with("amo") => {
             need(3)?;
             let rest = &m[3..];
-            let (op_str, width_str) = rest
-                .split_once('.')
-                .ok_or_else(|| AsmError {
-                    line: ln,
-                    message: format!("bad AMO mnemonic `{m}`"),
-                })?;
+            let (op_str, width_str) = rest.split_once('.').ok_or_else(|| AsmError {
+                line: ln,
+                message: format!("bad AMO mnemonic `{m}`"),
+            })?;
             let op = match op_str {
                 "add" => AmoOp::Add,
                 "swap" => AmoOp::Swap,
@@ -656,7 +652,11 @@ fn parse_float(m: &str, ops: Vec<String>, ln: usize) -> Result<Instr, AsmError> 
             need(2)?;
             let (offset, rs1) = mem_operand(&ops[1], ln)?;
             Ok(Instr::FLoad {
-                precision: if m == "flw" { Precision::S } else { Precision::D },
+                precision: if m == "flw" {
+                    Precision::S
+                } else {
+                    Precision::D
+                },
                 rd: freg(&ops[0], ln)?,
                 rs1,
                 offset,
@@ -666,7 +666,11 @@ fn parse_float(m: &str, ops: Vec<String>, ln: usize) -> Result<Instr, AsmError> 
             need(2)?;
             let (offset, rs1) = mem_operand(&ops[1], ln)?;
             Ok(Instr::FStore {
-                precision: if m == "fsw" { Precision::S } else { Precision::D },
+                precision: if m == "fsw" {
+                    Precision::S
+                } else {
+                    Precision::D
+                },
                 rs2: freg(&ops[0], ln)?,
                 rs1,
                 offset,
@@ -675,7 +679,11 @@ fn parse_float(m: &str, ops: Vec<String>, ln: usize) -> Result<Instr, AsmError> 
         "fmv.x.w" | "fmv.x.d" => {
             need(2)?;
             Ok(Instr::FMvToInt {
-                precision: if m.ends_with('w') { Precision::S } else { Precision::D },
+                precision: if m.ends_with('w') {
+                    Precision::S
+                } else {
+                    Precision::D
+                },
                 rd: xreg(&ops[0], ln)?,
                 rs1: freg(&ops[1], ln)?,
             })
@@ -683,7 +691,11 @@ fn parse_float(m: &str, ops: Vec<String>, ln: usize) -> Result<Instr, AsmError> 
         "fmv.w.x" | "fmv.d.x" => {
             need(2)?;
             Ok(Instr::FMvFromInt {
-                precision: if m == "fmv.w.x" { Precision::S } else { Precision::D },
+                precision: if m == "fmv.w.x" {
+                    Precision::S
+                } else {
+                    Precision::D
+                },
                 rd: freg(&ops[0], ln)?,
                 rs1: xreg(&ops[1], ln)?,
             })
@@ -832,12 +844,10 @@ fn parse_vector(m: &str, ops: Vec<String>, ln: usize) -> Result<Instr, AsmError>
         if ops.len() < 3 {
             return err(ln, "vsetvli expects rd, rs1, e<sew>, ...");
         }
-        let sew_tok = ops[2]
-            .strip_prefix('e')
-            .ok_or_else(|| AsmError {
-                line: ln,
-                message: format!("bad vtype `{}`", ops[2]),
-            })?;
+        let sew_tok = ops[2].strip_prefix('e').ok_or_else(|| AsmError {
+            line: ln,
+            message: format!("bad vtype `{}`", ops[2]),
+        })?;
         return Ok(Instr::Vsetvli {
             rd: xreg(&ops[0], ln)?,
             rs1: xreg(&ops[1], ln)?,
@@ -1066,8 +1076,8 @@ fn parse_vector(m: &str, ops: Vec<String>, ln: usize) -> Result<Instr, AsmError>
                 masked,
             })
         }
-        "vredsum" | "vredmax" | "vredmin" | "vfredusum" | "vfredosum" | "vfredsum"
-        | "vfredmax" | "vfredmin" => {
+        "vredsum" | "vredmax" | "vredmin" | "vfredusum" | "vfredosum" | "vfredsum" | "vfredmax"
+        | "vfredmin" => {
             need(3)?;
             let op = match base {
                 "vredsum" => VRedOp::Sum,
@@ -1084,8 +1094,8 @@ fn parse_vector(m: &str, ops: Vec<String>, ln: usize) -> Result<Instr, AsmError>
                 vs1: vreg(&ops[2], ln)?,
             })
         }
-        "vmseq" | "vmsne" | "vmslt" | "vmsle" | "vmsgt" | "vmsge" | "vmflt" | "vmfle"
-        | "vmfeq" | "vmfge" => {
+        "vmseq" | "vmsne" | "vmslt" | "vmsle" | "vmsgt" | "vmsge" | "vmflt" | "vmfle" | "vmfeq"
+        | "vmfge" => {
             need(3)?;
             let op = match base {
                 "vmseq" => VCmpOp::Eq,
@@ -1155,13 +1165,7 @@ mod tests {
         .unwrap();
         assert_eq!(p.len(), 7);
         assert_eq!(p.label("start"), Some(0));
-        assert_eq!(
-            p.instrs()[0],
-            Instr::Li {
-                rd: 3,
-                imm: 0x100
-            }
-        );
+        assert_eq!(p.instrs()[0], Instr::Li { rd: 3, imm: 0x100 });
         assert_eq!(
             p.instrs()[3],
             Instr::Load {
@@ -1208,7 +1212,13 @@ mod tests {
         ";
         let p = assemble(src).unwrap();
         assert_eq!(p.len(), 6);
-        assert!(matches!(p.instrs()[2], Instr::VRed { op: VRedOp::Sum, .. }));
+        assert!(matches!(
+            p.instrs()[2],
+            Instr::VRed {
+                op: VRedOp::Sum,
+                ..
+            }
+        ));
         assert!(matches!(
             p.instrs()[5],
             Instr::Amo {
@@ -1278,10 +1288,7 @@ mod tests {
                 ..
             }
         ));
-        assert!(matches!(
-            p.instrs()[7],
-            Instr::VStore { masked: true, .. }
-        ));
+        assert!(matches!(p.instrs()[7], Instr::VStore { masked: true, .. }));
         assert!(matches!(
             p.instrs()[8],
             Instr::VAmo {

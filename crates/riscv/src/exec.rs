@@ -185,7 +185,13 @@ impl<'a> MainMemoryIface<'a> {
 
 /// Performs a functional AMO against a [`MainMemory`]; shared by every
 /// iface implementation (device scratchpads, memory-side L2 atomics).
-pub fn amo_on_memory(mem: &mut MainMemory, op: AmoOp, width: Width, addr: u64, operand: u64) -> u64 {
+pub fn amo_on_memory(
+    mem: &mut MainMemory,
+    op: AmoOp,
+    width: Width,
+    addr: u64,
+    operand: u64,
+) -> u64 {
     match width {
         Width::W => {
             let old = mem.read_u32(addr);
@@ -578,11 +584,7 @@ pub fn step(
             ctx.write_x(*rd, out);
             Effect::FpAlu
         }
-        Instr::FMvToInt {
-            precision,
-            rd,
-            rs1,
-        } => {
+        Instr::FMvToInt { precision, rd, rs1 } => {
             let bits = ctx.f[*rs1 as usize];
             let v = match precision {
                 Precision::S => bits as u32 as i32 as i64 as u64,
@@ -591,11 +593,7 @@ pub fn step(
             ctx.write_x(*rd, v);
             Effect::Alu
         }
-        Instr::FMvFromInt {
-            precision,
-            rd,
-            rs1,
-        } => {
+        Instr::FMvFromInt { precision, rd, rs1 } => {
             let bits = ctx.x[*rs1 as usize];
             ctx.f[*rd as usize] = match precision {
                 Precision::S => bits & 0xFFFF_FFFF,
@@ -812,12 +810,8 @@ pub fn step(
                     VIntOp::Xor => lhs ^ rhs,
                     VIntOp::Sll => lhs << (rhs & 63),
                     VIntOp::Srl => lhs >> (rhs & 63),
-                    VIntOp::Min => {
-                        (get_elem_signed(&b, i, sew)).min(sign_at(rhs, sew)) as u64
-                    }
-                    VIntOp::Max => {
-                        (get_elem_signed(&b, i, sew)).max(sign_at(rhs, sew)) as u64
-                    }
+                    VIntOp::Min => (get_elem_signed(&b, i, sew)).min(sign_at(rhs, sew)) as u64,
+                    VIntOp::Max => (get_elem_signed(&b, i, sew)).max(sign_at(rhs, sew)) as u64,
                 };
                 set_elem(&mut out, i, sew, val);
             }
@@ -906,8 +900,7 @@ pub fn step(
             let mut out = [0u8; VLEN_BYTES];
             for i in 0..vl {
                 let taken = match op {
-                    VCmpOp::Eq | VCmpOp::Ne | VCmpOp::Lt | VCmpOp::Le | VCmpOp::Gt
-                    | VCmpOp::Ge => {
+                    VCmpOp::Eq | VCmpOp::Ne | VCmpOp::Lt | VCmpOp::Le | VCmpOp::Gt | VCmpOp::Ge => {
                         let rhs = sign_at(v_operand_int(ctx, operand, i, sew), sew);
                         let lhs = get_elem_signed(&b, i, sew);
                         match op {
@@ -1126,13 +1119,7 @@ fn int_op(op: IntOp, a: u64, b: u64) -> u64 {
                 ((a as i64).wrapping_div(b as i64)) as u64
             }
         }
-        IntOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        IntOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         IntOp::Rem => {
             if b == 0 {
                 a
@@ -1155,7 +1142,10 @@ mod tests {
     use super::*;
     use crate::asm::assemble;
 
-    fn run(src: &str, setup: impl FnOnce(&mut ThreadCtx, &mut MainMemory)) -> (ThreadCtx, MainMemory) {
+    fn run(
+        src: &str,
+        setup: impl FnOnce(&mut ThreadCtx, &mut MainMemory),
+    ) -> (ThreadCtx, MainMemory) {
         let prog = assemble(src).expect("assembles");
         let mut mem = MainMemory::new();
         let mut ctx = ThreadCtx::new();

@@ -219,9 +219,7 @@ impl Program {
                     tv(vs2);
                 }
                 Instr::Vid { vd, .. } => tv(vd),
-                Instr::VAmo {
-                    vd, rs1, vs2, ..
-                } => {
+                Instr::VAmo { vd, rs1, vs2, .. } => {
                     tv(vd);
                     tx(rs1);
                     tv(vs2);

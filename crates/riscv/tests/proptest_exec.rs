@@ -6,7 +6,10 @@ use m2ndp_riscv::assemble;
 use m2ndp_riscv::exec::{step, MainMemoryIface, ThreadCtx};
 use proptest::prelude::*;
 
-fn run_to_halt(src: &str, setup: impl FnOnce(&mut ThreadCtx, &mut MainMemory)) -> (ThreadCtx, MainMemory) {
+fn run_to_halt(
+    src: &str,
+    setup: impl FnOnce(&mut ThreadCtx, &mut MainMemory),
+) -> (ThreadCtx, MainMemory) {
     let prog = assemble(src).expect("assembles");
     let mut mem = MainMemory::new();
     let mut ctx = ThreadCtx::new();

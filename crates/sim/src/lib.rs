@@ -49,5 +49,5 @@ pub use bandwidth::BandwidthGate;
 pub use event::EventQueue;
 pub use pipe::DelayPipe;
 pub use queue::BoundedQueue;
-pub use stats::{Counter, Histogram, RunningStat, TrafficStats};
+pub use stats::{Counter, Histogram, RunningStat, Snapshot, TrafficStats};
 pub use time::{Cycle, Frequency};

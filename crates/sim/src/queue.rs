@@ -89,8 +89,8 @@ impl<T> BoundedQueue<T> {
 
     /// Removes and returns the first item matching `pred`, preserving the
     /// order of the rest. Used by out-of-order pickers such as FR-FCFS.
-    pub fn pop_first_match(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
-        let idx = self.items.iter().position(|t| pred(t))?;
+    pub fn pop_first_match(&mut self, pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let idx = self.items.iter().position(pred)?;
         self.items.remove(idx)
     }
 }

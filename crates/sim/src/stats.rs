@@ -7,6 +7,40 @@
 
 use crate::time::Cycle;
 
+/// Point-in-time snapshotting for monotonically growing statistics.
+///
+/// Long-lived models accumulate counters for their whole lifetime; an
+/// experiment that reuses a model across phases (or across workload runs on
+/// one device) wants the statistics of *one interval*. The pattern is:
+/// clone a snapshot at the interval start, then ask the live value for its
+/// [`delta_since`](Snapshot::delta_since) the snapshot at the end.
+pub trait Snapshot: Clone {
+    /// Returns the statistics accumulated since `baseline` was captured.
+    ///
+    /// Monotone quantities (counts, bytes, cycles) subtract; derived ratios
+    /// that cannot be un-averaged keep the end-of-interval value (documented
+    /// per implementation). Saturates rather than underflowing if `baseline`
+    /// is newer than `self`.
+    fn delta_since(&self, baseline: &Self) -> Self;
+}
+
+impl Snapshot for Counter {
+    fn delta_since(&self, baseline: &Self) -> Self {
+        Counter(self.0.saturating_sub(baseline.0))
+    }
+}
+
+impl Snapshot for TrafficStats {
+    fn delta_since(&self, baseline: &Self) -> Self {
+        TrafficStats {
+            read_bytes: self.read_bytes.delta_since(&baseline.read_bytes),
+            write_bytes: self.write_bytes.delta_since(&baseline.write_bytes),
+            reads: self.reads.delta_since(&baseline.reads),
+            writes: self.writes.delta_since(&baseline.writes),
+        }
+    }
+}
+
 /// A monotonically increasing event counter.
 ///
 /// # Example
@@ -174,6 +208,15 @@ impl Histogram {
         self.samples[rank - 1]
     }
 
+    /// The exact quantiles for each `p` in `ps` (one sort for the batch);
+    /// convenient for reporting p50/p95/p99 rows together.
+    ///
+    /// # Panics
+    /// Panics if any `p` is outside `[0, 1]`.
+    pub fn quantiles(&mut self, ps: &[f64]) -> Vec<u64> {
+        ps.iter().map(|&p| self.percentile(p)).collect()
+    }
+
     /// Arithmetic mean, or 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
@@ -239,6 +282,39 @@ mod tests {
         c.inc();
         c.add(9);
         assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn counter_delta_since_subtracts_and_saturates() {
+        let mut c = Counter::new();
+        c.add(7);
+        let snap = c;
+        c.add(5);
+        assert_eq!(c.delta_since(&snap).get(), 5);
+        assert_eq!(snap.delta_since(&c).get(), 0);
+    }
+
+    #[test]
+    fn traffic_delta_since_is_fieldwise() {
+        let mut t = TrafficStats::default();
+        t.record(64, false);
+        let snap = t.clone();
+        t.record(32, true);
+        t.record(128, false);
+        let d = t.delta_since(&snap);
+        assert_eq!(d.read_bytes.get(), 128);
+        assert_eq!(d.write_bytes.get(), 32);
+        assert_eq!(d.reads.get(), 1);
+        assert_eq!(d.writes.get(), 1);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_percentile() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantiles(&[0.5, 0.95, 1.0]), vec![50, 95, 100]);
     }
 
     #[test]

@@ -88,10 +88,7 @@ pub fn generate(cfg: DlrmConfig, mem: &mut MainMemory) -> DlrmData {
     for r in 0..cfg.table_rows {
         for d in 0..cfg.dim as u64 {
             let h = (r.wrapping_mul(0x9E3779B9) ^ d.wrapping_mul(0x85EBCA6B)) & 0xFFFF;
-            mem.write_f32(
-                table_base + r * cfg.row_bytes() + d * 4,
-                h as f32 / 65536.0,
-            );
+            mem.write_f32(table_base + r * cfg.row_bytes() + d * 4, h as f32 / 65536.0);
         }
     }
     let zipf = Zipf::new(cfg.table_rows, cfg.zipf_theta);

@@ -462,8 +462,8 @@ pub fn bellman_ford_sweeps_needed(data: &GraphData, mem: &MainMemory) -> u32 {
     loop {
         let prev = dist.clone();
         let mut changed = false;
-        for v in 0..n {
-            if prev[v] >= INF {
+        for (v, &dv) in prev.iter().enumerate() {
+            if dv >= INF {
                 continue;
             }
             let s = mem.read_u64(data.row_ptr_base + v as u64 * 8);
@@ -471,8 +471,8 @@ pub fn bellman_ford_sweeps_needed(data: &GraphData, mem: &MainMemory) -> u32 {
             for k in s..e {
                 let c = mem.read_u32(data.col_base + k * 4) as usize;
                 let w = mem.read_u32(data.weight_base + k * 4) as i64;
-                if prev[v] + w < dist[c] {
-                    dist[c] = prev[v] + w;
+                if dv + w < dist[c] {
+                    dist[c] = dv + w;
                     changed = true;
                 }
             }

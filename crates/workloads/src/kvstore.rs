@@ -313,7 +313,12 @@ pub fn baseline_hops(data: &KvData, req: KvRequest) -> u32 {
 ///
 /// # Errors
 /// Describes the mismatch (not-found, or wrong value words).
-pub fn verify_get(data: &KvData, mem: &MainMemory, req: KvRequest, slot: u32) -> Result<(), String> {
+pub fn verify_get(
+    data: &KvData,
+    mem: &MainMemory,
+    req: KvRequest,
+    slot: u32,
+) -> Result<(), String> {
     let out = data.output_base + slot as u64 * ENTRY_STRIDE;
     let marker = mem.read_u64(out + 64);
     let expect_entry = data.entries_base + req.item * ENTRY_STRIDE;

@@ -108,6 +108,8 @@ mod tests {
             names,
             vec!["OLAP", "KVStore", "HISTO", "SPMV", "PGRANK", "SSSP", "DLRM", "OPT"]
         );
-        assert!(catalog().iter().all(|e| e.baseline == "CPU" || e.baseline == "GPU"));
+        assert!(catalog()
+            .iter()
+            .all(|e| e.baseline == "CPU" || e.baseline == "GPU"));
     }
 }

@@ -76,8 +76,11 @@ impl OptConfig {
     /// Per-token weight bytes of the real model this stands in for
     /// (fp16), used to extrapolate runtimes in the benches.
     pub fn real_weight_bytes(real_hidden: u64, real_ffn: u64, real_layers: u64) -> u64 {
-        real_layers * (3 * real_hidden * real_hidden + real_hidden * real_hidden
-            + 2 * real_ffn * real_hidden) * 2
+        real_layers
+            * (3 * real_hidden * real_hidden
+                + real_hidden * real_hidden
+                + 2 * real_ffn * real_hidden)
+            * 2
     }
 }
 
@@ -460,7 +463,11 @@ pub struct OptKernels {
 /// The launch sequence for one decode step (run sequentially; each launch
 /// depends on the previous one's output). `units` is the engine's unit
 /// count (1 for TB-scoped GPU launches).
-pub fn decode_step_launches(data: &OptData, k: &OptKernels, units: u32) -> Vec<(KernelId, LaunchArgs)> {
+pub fn decode_step_launches(
+    data: &OptData,
+    k: &OptKernels,
+    units: u32,
+) -> Vec<(KernelId, LaunchArgs)> {
     let cfg = &data.cfg;
     let h = cfg.hidden as u64;
     let f = cfg.ffn as u64;
@@ -475,14 +482,23 @@ pub fn decode_step_launches(data: &OptData, k: &OptKernels, units: u32) -> Vec<(
         // QKV projection: qkv = Wqkv @ x  (3H × H)
         seq.push((
             k.gemv,
-            LaunchArgs::new(k.gemv, data.qkv_base, data.qkv_base + 3 * h * 4)
-                .with_args(vec![wqkv, x, h, 3 * h, units as u64]),
+            LaunchArgs::new(k.gemv, data.qkv_base, data.qkv_base + 3 * h * 4).with_args(vec![
+                wqkv,
+                x,
+                h,
+                3 * h,
+                units as u64,
+            ]),
         ));
         // Scores per head: q = qkv[0..H].
         seq.push((
             k.scores,
-            LaunchArgs::new(k.scores, data.scores_base, data.scores_base + cfg.heads as u64 * t * 4)
-                .with_args(vec![data.qkv_base, kc, t, d, inv_sqrt_d]),
+            LaunchArgs::new(
+                k.scores,
+                data.scores_base,
+                data.scores_base + cfg.heads as u64 * t * 4,
+            )
+            .with_args(vec![data.qkv_base, kc, t, d, inv_sqrt_d]),
         ));
         // Softmax in place.
         seq.push((
@@ -497,26 +513,45 @@ pub fn decode_step_launches(data: &OptData, k: &OptKernels, units: u32) -> Vec<(
         // Weighted sum into attn_out.
         seq.push((
             k.wsum,
-            LaunchArgs::new(k.wsum, data.attn_base, data.attn_base + h * 4)
-                .with_args(vec![data.scores_base, vc, t, d]),
+            LaunchArgs::new(k.wsum, data.attn_base, data.attn_base + h * 4).with_args(vec![
+                data.scores_base,
+                vc,
+                t,
+                d,
+            ]),
         ));
         // Output projection.
         seq.push((
             k.gemv,
-            LaunchArgs::new(k.gemv, data.proj_base, data.proj_base + h * 4)
-                .with_args(vec![wproj, data.attn_base, h, h, units as u64]),
+            LaunchArgs::new(k.gemv, data.proj_base, data.proj_base + h * 4).with_args(vec![
+                wproj,
+                data.attn_base,
+                h,
+                h,
+                units as u64,
+            ]),
         ));
         // FFN up.
         seq.push((
             k.gemv,
-            LaunchArgs::new(k.gemv, data.ffn_base, data.ffn_base + f * 4)
-                .with_args(vec![w1, data.proj_base, h, f, units as u64]),
+            LaunchArgs::new(k.gemv, data.ffn_base, data.ffn_base + f * 4).with_args(vec![
+                w1,
+                data.proj_base,
+                h,
+                f,
+                units as u64,
+            ]),
         ));
         // FFN down into the step output (also next layer's input).
         seq.push((
             k.gemv,
-            LaunchArgs::new(k.gemv, data.out_base, data.out_base + h * 4)
-                .with_args(vec![w2, data.ffn_base, f, h, units as u64]),
+            LaunchArgs::new(k.gemv, data.out_base, data.out_base + h * 4).with_args(vec![
+                w2,
+                data.ffn_base,
+                f,
+                h,
+                units as u64,
+            ]),
         ));
         x = data.out_base;
     }
@@ -554,8 +589,7 @@ pub fn reference(data: &OptData, mem: &MainMemory) -> Vec<f32> {
             let mut scores = vec![0f32; t];
             for ti in 0..t {
                 let kr = &kc[hd * t * d + ti * d..hd * t * d + (ti + 1) * d];
-                scores[ti] = qh.iter().zip(kr).map(|(a, b)| a * b).sum::<f32>()
-                    / (d as f32).sqrt();
+                scores[ti] = qh.iter().zip(kr).map(|(a, b)| a * b).sum::<f32>() / (d as f32).sqrt();
             }
             let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table II flow: register, launch (async), poll, check.
     let kid = device.register_kernel(spec);
     let inst = device.launch(LaunchArgs::new(kid, a, a + n * 4).with_args(vec![b, c]))?;
-    println!("launched instance {:?} over pool [{a:#x}, {:#x})", inst, a + n * 4);
+    println!(
+        "launched instance {:?} over pool [{a:#x}, {:#x})",
+        inst,
+        a + n * 4
+    );
 
     let finished_at = device.run_until_finished(inst);
     assert_eq!(device.poll(inst), Some(InstanceStatus::Finished));

@@ -114,7 +114,10 @@ fn claims_table_i_shape() {
     use m2ndp::mem::DramConfig;
     let gpu = DramConfig::hbm2_gpu();
     let cxl = DramConfig::lpddr5_cxl();
-    assert!(cxl.capacity_bytes > gpu.capacity_bytes, "capacity: CXL wins");
+    assert!(
+        cxl.capacity_bytes > gpu.capacity_bytes,
+        "capacity: CXL wins"
+    );
     assert!(
         gpu.peak_bw_bytes_per_sec > cxl.peak_bw_bytes_per_sec,
         "raw BW: GPU wins"

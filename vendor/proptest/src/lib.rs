@@ -355,7 +355,7 @@ mod tests {
 
         #[test]
         fn ranges_and_vecs(x in 1u32..=10, v in prop::collection::vec(0u64..5, 1..8)) {
-            prop_assert!(x >= 1 && x <= 10);
+            prop_assert!((1..=10).contains(&x));
             prop_assert!(!v.is_empty() && v.len() < 8);
             prop_assert!(v.iter().all(|&e| e < 5));
         }
