@@ -1,23 +1,12 @@
 //! Fig. 14b: M²NDP-enabled CXL switch processing data from 1–8 passive CXL
-//! memories (§III-J).
+//! memories (§III-J), as a *simulated* pull path: the in-switch NDP complex
+//! is a real device whose workload data streams through the populated
+//! switch ports (`m2ndp_core::fleet::SwitchNdp`). The cells live in
+//! `m2ndp_bench::sweep`, shared with the `figures` CLI.
 
-use m2ndp::core::multi::SwitchNdpModel;
-use m2ndp_bench::table::Table;
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
 
 fn main() {
-    // NDP-in-switch pulls data over the switch's CXL ports (64 GB/s each);
-    // NDP throughput itself saturates at the single-device internal rate.
-    let model = SwitchNdpModel {
-        port_bw: 64e9,
-        ndp_bw: 409.6e9 * 0.816, // measured M2NDP BW saturation
-    };
-    let mut t = Table::new(vec!["CXL memories", "throughput (GB/s)", "speedup"]);
-    for n in [1u32, 2, 4, 8] {
-        t.row(vec![
-            n.to_string(),
-            format!("{:.1}", model.throughput(n) / 1e9),
-            format!("{:.2}x", model.speedup(n)),
-        ]);
-    }
-    t.print("Fig. 14b — NDP-in-switch scaling (paper: 6.39-7.38x at 8 memories)");
+    let (outs, metrics) = run_figure(FigId::Fig14b, false, 1, false);
+    print_figure(FigId::Fig14b, &outs, &metrics);
 }

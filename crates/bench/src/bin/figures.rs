@@ -10,6 +10,9 @@
 //!   --check                gate the emitted ratios on the paper-anchored
 //!                          tolerance bands; nonzero exit on drift
 //!   --out DIR              output directory (default: target/figures)
+//!   --timing FILE          also write a wall-clock timing JSON (per-cell
+//!                          and per-figure wall seconds — the perf-trajectory
+//!                          artifact; wall times never enter the result JSON)
 //!   --list                 list figures and bands, run nothing
 //!   --quiet                no tables / per-cell progress, just files + gate
 //! ```
@@ -21,6 +24,7 @@
 use std::process::ExitCode;
 
 use m2ndp_bench::golden::{self, Verdict};
+use m2ndp_bench::json::Json;
 use m2ndp_bench::sweep::{self, CellOut, FigId, Metric};
 
 struct Options {
@@ -29,6 +33,7 @@ struct Options {
     jobs: usize,
     check: bool,
     out: String,
+    timing: Option<String>,
     list: bool,
     quiet: bool,
 }
@@ -36,7 +41,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: figures [--only fig10a,fig10c,...] [--fast] [--jobs N] [--check] [--out DIR] \
-         [--list] [--quiet]\nfigures: {}",
+         [--timing FILE] [--list] [--quiet]\nfigures: {}",
         FigId::all().map(FigId::id).join(", ")
     );
     std::process::exit(2);
@@ -49,6 +54,7 @@ fn parse_args() -> Options {
         jobs: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         check: false,
         out: "target/figures".to_string(),
+        timing: None,
         list: false,
         quiet: false,
     };
@@ -84,6 +90,7 @@ fn parse_args() -> Options {
             }
             "--check" => opts.check = true,
             "--out" => opts.out = args.next().unwrap_or_else(|| usage()),
+            "--timing" => opts.timing = Some(args.next().unwrap_or_else(|| usage())),
             "--list" => opts.list = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
@@ -117,6 +124,65 @@ fn list_figures(opts: &Options) {
     let _ = opts;
 }
 
+/// The `--timing` perf-trajectory artifact: per-cell and per-figure wall
+/// seconds plus the sweep's shape, so CI can chart sweep cost over time.
+/// Wall clock is inherently non-deterministic and therefore lives in its
+/// own file, never in `BENCH_RESULTS.json`.
+fn timing_json(opts: &Options, cells: &[sweep::CellSpec], walls: &[f64], wall_total: f64) -> Json {
+    let mut per_fig: Vec<(FigId, f64, u64)> = Vec::new();
+    for (cell, &w) in cells.iter().zip(walls) {
+        match per_fig.iter_mut().find(|(f, _, _)| *f == cell.fig) {
+            Some((_, acc, n)) => {
+                *acc += w;
+                *n += 1;
+            }
+            None => per_fig.push((cell.fig, w, 1)),
+        }
+    }
+    Json::Obj(vec![
+        ("schema_version".to_string(), Json::U64(1)),
+        (
+            "generator".to_string(),
+            Json::Str("m2ndp_bench figures --timing".to_string()),
+        ),
+        ("fast".to_string(), Json::Bool(opts.fast)),
+        ("jobs".to_string(), Json::U64(opts.jobs as u64)),
+        ("cells".to_string(), Json::U64(cells.len() as u64)),
+        ("wall_seconds".to_string(), Json::F64(wall_total)),
+        (
+            "cell_wall_seconds_sum".to_string(),
+            Json::F64(walls.iter().sum()),
+        ),
+        (
+            "figures".to_string(),
+            Json::Obj(
+                per_fig
+                    .into_iter()
+                    .map(|(fig, wall, n)| {
+                        (
+                            fig.id().to_string(),
+                            Json::Obj(vec![
+                                ("cells".to_string(), Json::U64(n)),
+                                ("wall_seconds".to_string(), Json::F64(wall)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cell_wall_seconds".to_string(),
+            Json::Obj(
+                cells
+                    .iter()
+                    .zip(walls)
+                    .map(|(c, &w)| (format!("{}/{}", c.fig.id(), c.key), Json::F64(w)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if opts.list {
@@ -143,9 +209,21 @@ fn main() -> ExitCode {
         );
     }
     let t0 = std::time::Instant::now();
-    let outs = sweep::run_cells(&all_cells, opts.jobs, !opts.quiet);
+    let (outs, walls) = sweep::run_cells_timed(&all_cells, opts.jobs, !opts.quiet);
+    let wall_total = t0.elapsed().as_secs_f64();
     if !opts.quiet {
-        eprintln!("sweep finished in {:.1} s wall", t0.elapsed().as_secs_f64());
+        eprintln!("sweep finished in {wall_total:.1} s wall");
+    }
+
+    if let Some(path) = &opts.timing {
+        let json = timing_json(&opts, &all_cells, &walls, wall_total);
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, json.pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
     }
 
     let results: Vec<(FigId, Vec<CellOut>, Vec<Metric>)> = spans

@@ -19,7 +19,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use m2ndp::core::{DeviceStats, StatValue};
+use m2ndp::core::fleet::{Fleet, FleetConfig, SwitchNdp};
+use m2ndp::core::{CxlM2ndpDevice, DeviceStats, M2ndpConfig, StatValue};
+use m2ndp::cxl::SwitchConfig;
 use m2ndp::host::cpu::{DataHome, HostCpu, HostCpuConfig};
 use m2ndp::host::nsu::NsuModel;
 use m2ndp::host::offload::{OffloadMechanism, OffloadModel, OffloadSim};
@@ -54,11 +56,19 @@ pub enum FigId {
     Fig13a,
     /// Fig. 13b — dirty-host-cache (back-invalidation) limit study.
     Fig13b,
+    /// Fig. 14a — simulated multi-device fleet scaling (§III-I): real
+    /// device simulators behind the switch, offloads and the all-reduce as
+    /// switch traffic (the simulated counterpart of Fig. 12b's analytic
+    /// model).
+    Fig14a,
+    /// Fig. 14b — M²NDP-in-switch over passive CXL memories (§III-J) vs
+    /// per-device NDP.
+    Fig14b,
 }
 
 impl FigId {
     /// All sweep figures in presentation order.
-    pub fn all() -> [FigId; 7] {
+    pub fn all() -> [FigId; 9] {
         [
             FigId::Fig10a,
             FigId::Fig10b,
@@ -67,6 +77,8 @@ impl FigId {
             FigId::Fig12b,
             FigId::Fig13a,
             FigId::Fig13b,
+            FigId::Fig14a,
+            FigId::Fig14b,
         ]
     }
 
@@ -80,6 +92,8 @@ impl FigId {
             FigId::Fig12b => "fig12b",
             FigId::Fig13a => "fig13a",
             FigId::Fig13b => "fig13b",
+            FigId::Fig14a => "fig14a",
+            FigId::Fig14b => "fig14b",
         }
     }
 
@@ -93,6 +107,8 @@ impl FigId {
             FigId::Fig12b => "Multi-device scaling (paper: 7.84x DLRM at 8 devices)",
             FigId::Fig13a => "Frequency / LtU sensitivity (paper: 1GHz -10%, 3GHz +2.5%)",
             FigId::Fig13b => "Dirty-host-cache limit (paper: 0.969 / 0.872 / 0.735)",
+            FigId::Fig14a => "Simulated fleet scaling, 1-8 devices (paper: Fig. 12b trends)",
+            FigId::Fig14b => "NDP-in-switch vs per-device NDP (paper: 6.39-7.38x at 8 memories)",
         }
     }
 
@@ -142,7 +158,56 @@ enum Work {
     DlrmPartition { devices: u32 },
     /// OPT decode step tensor-partitioned over `devices` (Fig. 12b).
     OptPartition { big: bool, devices: u32 },
+    /// DLRM SLS sharded over a *simulated* fleet of real devices behind
+    /// the switch (Fig. 14a; disjoint outputs, no all-reduce).
+    FleetDlrm { devices: u32 },
+    /// OPT decode step tensor-parallel over a simulated fleet, with the
+    /// ring all-reduce as actual switch traffic (Fig. 14a).
+    FleetOpt { devices: u32 },
+    /// Plain single-device run of the unsharded workload — the parity
+    /// reference the 1-device fleet must match within 1% (Fig. 14a).
+    FleetSingleRef { opt: bool },
+    /// NDP-in-switch processing passive third-party memories through
+    /// `memories` populated switch ports (Fig. 14b).
+    SwitchNdpRun { memories: u32 },
 }
+
+/// The bench-scale device every fleet cell instantiates per shard (the
+/// paper's Table IV device at `platforms::SCALE`-reduced unit count).
+fn fleet_device_cfg() -> M2ndpConfig {
+    let mut cfg = M2ndpConfig::default_device();
+    cfg.engine.units = 32 / SCALE;
+    cfg
+}
+
+/// The total DLRM SLS workload the fleet figures shard (matches the
+/// Fig. 12b partition cells' shape at batch 256).
+fn fleet_dlrm_cfg() -> dlrm::DlrmConfig {
+    dlrm::DlrmConfig {
+        table_rows: 64 << 10,
+        dim: 64,
+        lookups: 80,
+        batch: 256,
+        zipf_theta: 0.9,
+        seed: 0xD12A,
+    }
+}
+
+/// The total OPT decode step the fleet figures tensor-shard.
+fn fleet_opt_cfg() -> opt::OptConfig {
+    opt::OptConfig {
+        hidden: 256,
+        heads: 8,
+        ffn: 1024,
+        layers: 1,
+        context: 128,
+        seed: 7,
+    }
+}
+
+/// Fleet-cell labels (fig14a keys are `<label>/fleet<n>`).
+const FLEET_DLRM: &str = "DLRM(SLS)-B256";
+const FLEET_OPT: &str = "OPT-TP(Gen)";
 
 /// Raw output of one cell.
 #[derive(Debug, Clone)]
@@ -309,6 +374,53 @@ pub fn cells(fig: FigId, fast: bool) -> Vec<CellSpec> {
                 ]
             })
             .collect(),
+        FigId::Fig14a => {
+            let devices: &[u32] = if fast { &[1, 8] } else { &[1, 2, 4, 8] };
+            let mut out = vec![
+                CellSpec {
+                    fig,
+                    key: format!("{FLEET_DLRM}/single"),
+                    work: Work::FleetSingleRef { opt: false },
+                },
+                CellSpec {
+                    fig,
+                    key: format!("{FLEET_OPT}/single"),
+                    work: Work::FleetSingleRef { opt: true },
+                },
+            ];
+            for &n in devices {
+                out.push(CellSpec {
+                    fig,
+                    key: format!("{FLEET_DLRM}/fleet{n}"),
+                    work: Work::FleetDlrm { devices: n },
+                });
+                out.push(CellSpec {
+                    fig,
+                    key: format!("{FLEET_OPT}/fleet{n}"),
+                    work: Work::FleetOpt { devices: n },
+                });
+            }
+            out
+        }
+        FigId::Fig14b => {
+            let memories: &[u32] = if fast { &[1, 8] } else { &[1, 2, 4, 8] };
+            let mut out: Vec<CellSpec> = memories
+                .iter()
+                .map(|&m| CellSpec {
+                    fig,
+                    key: format!("swndp/{m}mem"),
+                    work: Work::SwitchNdpRun { memories: m },
+                })
+                .collect();
+            for n in [1u32, 8] {
+                out.push(CellSpec {
+                    fig,
+                    key: format!("perdev/{n}dev"),
+                    work: Work::FleetDlrm { devices: n },
+                });
+            }
+            out
+        }
         FigId::Fig13b => sweep_workloads(fast)
             .into_iter()
             .flat_map(|w| {
@@ -506,6 +618,128 @@ pub fn run_cell(spec: &CellSpec) -> CellOut {
                 Vec::new(),
             )
         }
+        Work::FleetDlrm { devices } => {
+            let n = *devices;
+            let mut fleet = Fleet::new(FleetConfig {
+                devices: n as usize,
+                device: fleet_device_cfg(),
+                switch: SwitchConfig::default(),
+                hdm_bytes_per_device: 1 << 30,
+            });
+            let shards = dlrm::shard(fleet_dlrm_cfg(), n);
+            let mut datas = Vec::new();
+            for (d, cfg) in shards.iter().enumerate() {
+                let data = dlrm::generate(*cfg, fleet.device_mut(d).memory_mut());
+                let kid = fleet.device_mut(d).register_kernel(dlrm::kernel());
+                let pool = fleet.shard_base(d);
+                fleet
+                    .launch_routed(0, pool, dlrm::launch(&data, kid))
+                    .expect("offload routes to its shard");
+                datas.push(data);
+            }
+            let run = fleet.run_launched();
+            for (d, data) in datas.iter().enumerate() {
+                dlrm::verify(data, fleet.device(d).memory()).expect("dlrm shard verifies");
+            }
+            // SLS outputs are disjoint across shards: no combining step.
+            let cycles = run.compute_done;
+            let ns = fleet.clock().ns_from_cycles(cycles);
+            let extra = vec![
+                ("offloads", fleet.switch().host_transfers.get() as f64),
+                ("p2p_bytes", fleet.switch().p2p_bytes.get() as f64),
+            ];
+            out(cycles, ns, Some(fleet.stats()), extra)
+        }
+        Work::FleetOpt { devices } => {
+            let n = *devices;
+            let mut fleet = Fleet::new(FleetConfig {
+                devices: n as usize,
+                device: fleet_device_cfg(),
+                switch: SwitchConfig::default(),
+                hdm_bytes_per_device: 1 << 30,
+            });
+            let base = fleet_opt_cfg();
+            for (d, cfg) in opt::tensor_parallel(base, n).iter().enumerate() {
+                let data = opt::generate(*cfg, fleet.device_mut(d).memory_mut());
+                let dev = fleet.device_mut(d);
+                let kernels = opt::OptKernels {
+                    gemv: dev.register_kernel(opt::gemv_kernel()),
+                    scores: dev.register_kernel(opt::scores_kernel()),
+                    softmax: dev.register_kernel(opt::softmax_kernel()),
+                    wsum: dev.register_kernel(opt::weighted_sum_kernel()),
+                };
+                let units = dev.config().engine.units;
+                let pool = fleet.shard_base(d);
+                for (_k, launch) in opt::decode_step_launches(&data, &kernels, units) {
+                    fleet
+                        .launch_routed_and_run(pool, launch)
+                        .expect("offload routes to its shard");
+                }
+                opt::verify(&data, fleet.device(d).memory()).expect("opt shard verifies");
+            }
+            let compute_done = fleet.completion();
+            let allreduce = if n > 1 {
+                opt::tensor_parallel_allreduce_bytes(&base)
+            } else {
+                0
+            };
+            let cycles = fleet.ring_allreduce(compute_done, allreduce);
+            let ns = fleet.clock().ns_from_cycles(cycles);
+            let extra = vec![
+                ("allreduce_cycles", (cycles - compute_done) as f64),
+                ("offloads", fleet.switch().host_transfers.get() as f64),
+                ("p2p_bytes", fleet.switch().p2p_bytes.get() as f64),
+            ];
+            out(cycles, ns, Some(fleet.stats()), extra)
+        }
+        Work::FleetSingleRef { opt: is_opt } => {
+            // The exact workload the 1-device fleet runs, on a standalone
+            // device (no switch in the path) — the parity anchor.
+            let mut dev = CxlM2ndpDevice::new(fleet_device_cfg());
+            let start = dev.now();
+            let done = if *is_opt {
+                let data = opt::generate(fleet_opt_cfg(), dev.memory_mut());
+                let kernels = opt::OptKernels {
+                    gemv: dev.register_kernel(opt::gemv_kernel()),
+                    scores: dev.register_kernel(opt::scores_kernel()),
+                    softmax: dev.register_kernel(opt::softmax_kernel()),
+                    wsum: dev.register_kernel(opt::weighted_sum_kernel()),
+                };
+                let units = dev.config().engine.units;
+                let mut done = start;
+                for (_k, launch) in opt::decode_step_launches(&data, &kernels, units) {
+                    let inst = dev.launch(launch).expect("launch");
+                    done = dev.run_until_finished(inst);
+                }
+                opt::verify(&data, dev.memory()).expect("opt verifies");
+                done
+            } else {
+                let data = dlrm::generate(fleet_dlrm_cfg(), dev.memory_mut());
+                let kid = dev.register_kernel(dlrm::kernel());
+                let inst = dev.launch(dlrm::launch(&data, kid)).expect("launch");
+                let done = dev.run_until_finished(inst);
+                dlrm::verify(&data, dev.memory()).expect("dlrm verifies");
+                done
+            };
+            let cycles = done - start;
+            let ns = dev.config().engine.freq.ns_from_cycles(cycles);
+            out(cycles, ns, Some(dev.stats()), Vec::new())
+        }
+        Work::SwitchNdpRun { memories } => {
+            let mut sw = SwitchNdp::new(&fleet_device_cfg(), SwitchConfig::default(), *memories);
+            let dev = sw.device_mut();
+            let data = dlrm::generate(fleet_dlrm_cfg(), dev.memory_mut());
+            let kid = dev.register_kernel(dlrm::kernel());
+            let start = dev.now();
+            let inst = dev.launch(dlrm::launch(&data, kid)).expect("launch");
+            let done = dev.run_until_finished(inst);
+            dlrm::verify(&data, dev.memory()).expect("dlrm verifies");
+            let cycles = done - start;
+            let ns = dev.config().engine.freq.ns_from_cycles(cycles);
+            let stats = dev.stats();
+            let pulled = (stats.link_m2s_bytes + stats.link_s2m_bytes) as f64;
+            out(cycles, ns, Some(stats), vec![("port_wire_bytes", pulled)])
+        }
     }
 }
 
@@ -521,10 +755,19 @@ pub fn run_cell(spec: &CellSpec) -> CellOut {
 /// # Panics
 /// Propagates a panic from any cell (e.g. a workload verification failure).
 pub fn run_cells(cells: &[CellSpec], jobs: usize, verbose: bool) -> Vec<CellOut> {
+    run_cells_timed(cells, jobs, verbose).0
+}
+
+/// [`run_cells`], additionally returning each cell's wall-clock time in
+/// seconds (same order as the outputs). The wall times feed the `--timing`
+/// perf-trajectory artifact and are inherently non-deterministic — they
+/// never enter the byte-stable result JSON.
+pub fn run_cells_timed(cells: &[CellSpec], jobs: usize, verbose: bool) -> (Vec<CellOut>, Vec<f64>) {
     let jobs = jobs.clamp(1, cells.len().max(1));
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CellOut>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(CellOut, f64)>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| loop {
@@ -535,25 +778,26 @@ pub fn run_cells(cells: &[CellSpec], jobs: usize, verbose: bool) -> Vec<CellOut>
                 let t0 = std::time::Instant::now();
                 let cell = &cells[i];
                 let result = run_cell(cell);
+                let wall = t0.elapsed().as_secs_f64();
                 if verbose {
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     eprintln!(
-                        "[{n}/{}] {} {:<32} {:>8.0} us simulated, {} ms wall",
+                        "[{n}/{}] {} {:<32} {:>8.0} us simulated, {:.0} ms wall",
                         cells.len(),
                         cell.fig.id(),
                         cell.key,
                         result.ns / 1e3,
-                        t0.elapsed().as_millis()
+                        wall * 1e3
                     );
                 }
-                *slots[i].lock().expect("slot lock") = Some(result);
+                *slots[i].lock().expect("slot lock") = Some((result, wall));
             });
         }
     });
     slots
         .into_iter()
         .map(|m| m.into_inner().expect("slot lock").expect("cell ran"))
-        .collect()
+        .unzip()
 }
 
 /// Runs one figure end to end: grid → (parallel) execution → derived
@@ -782,6 +1026,59 @@ pub fn derive(fig: FigId, outs: &[CellOut]) -> Vec<Metric> {
                 if !vals.is_empty() {
                     m.push((format!("geomean/dirty{pct}"), geomean(&vals)));
                 }
+            }
+        }
+        FigId::Fig14a => {
+            for wl in [FLEET_DLRM, FLEET_OPT] {
+                let base = find(outs, &format!("{wl}/fleet1"));
+                if let (Some(s), Some(b)) = (find(outs, &format!("{wl}/single")), base) {
+                    // The 1% single-vs-fleet acceptance gate: a standalone
+                    // device and the fleet-of-1 run the same shard, so the
+                    // only divergence allowed is the offload routing skew.
+                    m.push((format!("parity/{wl}"), s.cycles as f64 / b.cycles as f64));
+                }
+                let Some(base) = base else { continue };
+                for n in [1u32, 2, 4, 8] {
+                    let Some(o) = find(outs, &format!("{wl}/fleet{n}")) else {
+                        continue;
+                    };
+                    m.push((
+                        format!("speedup/{wl}/{n}dev"),
+                        base.cycles as f64 / o.cycles as f64,
+                    ));
+                    if o.extra.iter().any(|(name, _)| *name == "allreduce_cycles") {
+                        m.push((
+                            format!("allreduce_frac/{wl}/{n}dev"),
+                            extra(o, "allreduce_cycles") / o.cycles as f64,
+                        ));
+                    }
+                }
+            }
+        }
+        FigId::Fig14b => {
+            let one = find(outs, "swndp/1mem");
+            for n in [1u32, 2, 4, 8] {
+                if let (Some(o), Some(one)) = (find(outs, &format!("swndp/{n}mem")), one) {
+                    m.push((
+                        format!("speedup/swndp/{n}mem"),
+                        one.cycles as f64 / o.cycles as f64,
+                    ));
+                }
+            }
+            if let (Some(p1), Some(p8)) = (find(outs, "perdev/1dev"), find(outs, "perdev/8dev")) {
+                m.push((
+                    "speedup/perdev/8dev".into(),
+                    p1.cycles as f64 / p8.cycles as f64,
+                ));
+            }
+            // The §III-J trade: the in-switch NDP at 8 passive memories vs
+            // 8 full NDP devices, same total workload (>1 means per-device
+            // NDP is slower, i.e. the switch integration holds up).
+            if let (Some(p8), Some(s8)) = (find(outs, "perdev/8dev"), find(outs, "swndp/8mem")) {
+                m.push((
+                    "perdev_vs_swndp/8".into(),
+                    p8.cycles as f64 / s8.cycles as f64,
+                ));
             }
         }
     }
@@ -1148,6 +1445,67 @@ pub fn print_figure(fig: FigId, outs: &[CellOut], metrics: &[Metric]) {
                 fmt_or_dash(metric(metrics, "geomean/dirty20"), |v| format!("{v:.3}")),
                 fmt_or_dash(metric(metrics, "geomean/dirty40"), |v| format!("{v:.3}")),
                 fmt_or_dash(metric(metrics, "geomean/dirty80"), |v| format!("{v:.3}")),
+            );
+        }
+        FigId::Fig14a => {
+            let mut t = Table::new(vec![
+                "devices",
+                "DLRM(SLS)-B256",
+                "OPT-TP(Gen)",
+                "OPT all-reduce frac",
+            ]);
+            for n in [1u32, 2, 4, 8] {
+                if metric(metrics, &format!("speedup/{FLEET_DLRM}/{n}dev")).is_none() {
+                    continue;
+                }
+                t.row(vec![
+                    n.to_string(),
+                    fmt_or_dash(
+                        metric(metrics, &format!("speedup/{FLEET_DLRM}/{n}dev")),
+                        |v| format!("{v:.2}x"),
+                    ),
+                    fmt_or_dash(
+                        metric(metrics, &format!("speedup/{FLEET_OPT}/{n}dev")),
+                        |v| format!("{v:.2}x"),
+                    ),
+                    fmt_or_dash(
+                        metric(metrics, &format!("allreduce_frac/{FLEET_OPT}/{n}dev")),
+                        |v| format!("{:.1}%", v * 100.0),
+                    ),
+                ]);
+            }
+            t.print(
+                "Fig. 14a — simulated fleet scaling: N real devices behind the switch \
+                 (paper Fig. 12b: DLRM 7.84x, OPT sub-linear from the all-reduce)",
+            );
+            println!(
+                "single-device parity (fleet-of-1 / standalone, must be 1.00 +/- 0.01): \
+                 DLRM {}, OPT {}",
+                fmt_or_dash(metric(metrics, &format!("parity/{FLEET_DLRM}")), |v| {
+                    format!("{v:.4}")
+                }),
+                fmt_or_dash(metric(metrics, &format!("parity/{FLEET_OPT}")), |v| {
+                    format!("{v:.4}")
+                }),
+            );
+        }
+        FigId::Fig14b => {
+            let mut t = Table::new(vec!["CXL memories", "NDP-in-switch speedup"]);
+            for n in [1u32, 2, 4, 8] {
+                if let Some(v) = metric(metrics, &format!("speedup/swndp/{n}mem")) {
+                    t.row(vec![n.to_string(), format!("{v:.2}x")]);
+                }
+            }
+            t.print(
+                "Fig. 14b — M2NDP-in-switch over passive CXL memories \
+                 (paper: 6.39-7.38x at 8 memories)",
+            );
+            println!(
+                "per-device NDP at 8 devices: {} | per-device runtime / in-switch runtime at 8: {}",
+                fmt_or_dash(metric(metrics, "speedup/perdev/8dev"), |v| format!(
+                    "{v:.2}x"
+                )),
+                fmt_or_dash(metric(metrics, "perdev_vs_swndp/8"), |v| format!("{v:.2}")),
             );
         }
     }

@@ -214,6 +214,13 @@ pub struct M2ndpConfig {
     /// remote memory behind the CXL link: the *baseline* placement, where a
     /// host GPU's working set lives in a passive CXL expander.
     pub workload_data_remote: bool,
+    /// Also charge remote read *responses* (data flowing back from the
+    /// remote memory) against the link's return-direction bandwidth gate.
+    /// The NDP-in-switch configuration (§III-J) sets this: its pull path
+    /// is the switch ports, whose aggregate bandwidth both the requests
+    /// and the returning data must share. Off by default — the GPU
+    /// baseline keeps the seed's request-only accounting.
+    pub charge_remote_responses: bool,
 }
 
 impl M2ndpConfig {
@@ -227,6 +234,7 @@ impl M2ndpConfig {
             dirty_host_ratio: 0.0,
             use_m2func: true,
             workload_data_remote: false,
+            charge_remote_responses: false,
         }
     }
 

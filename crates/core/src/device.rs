@@ -603,6 +603,20 @@ impl CxlM2ndpDevice {
                 CxlMemPacket::read(mreq)
             };
             arrival = self.link.send_m2s(arrival, pkt).max(arrival);
+            if self.cfg.charge_remote_responses && !req.write {
+                // The returning data shares the pull path's bandwidth (the
+                // switch ports in the §III-J configuration). Charged at
+                // request time: for the streaming workloads this models,
+                // completion is set by the bottleneck gate's serialization,
+                // which is order-independent.
+                let resp = CxlMemPacket::data_response(MemReq::read(
+                    self.ids.alloc(),
+                    req.addr,
+                    req.bytes,
+                    ReqSource::Peer { device: 0 },
+                ));
+                arrival = self.link.send_s2m(arrival, resp);
+            }
         }
         let token = L2Token {
             dest: L2Dest::Unit {

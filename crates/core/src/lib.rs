@@ -22,14 +22,20 @@
 //! * [`tlb`] — on-chip TLBs backed by the in-memory DRAM-TLB (§III-H);
 //! * [`kernel`] — NDP kernel specifications and the registration-time
 //!   resource accounting (Table II arguments);
-//! * [`multi`] — scaling across multiple CXL-M²NDP devices through a CXL
-//!   switch (§III-I) and the NDP-in-switch configuration (§III-J).
+//! * [`multi`] — analytic cost model for scaling across multiple
+//!   CXL-M²NDP devices through a CXL switch (§III-I) and the NDP-in-switch
+//!   configuration (§III-J);
+//! * [`fleet`] — the *simulated* counterpart of [`multi`]: N real device
+//!   simulators behind a switch, offloads routed through the HDM page
+//!   router, the all-reduce as actual P2P switch traffic, and the
+//!   NDP-in-switch variant over passive memories.
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod device;
 pub mod engine;
+pub mod fleet;
 pub mod kernel;
 pub mod m2func;
 pub mod multi;
@@ -38,5 +44,6 @@ pub mod tlb;
 pub use config::{EngineConfig, M2ndpConfig};
 pub use device::{CxlM2ndpDevice, DeviceStats, StatValue};
 pub use engine::Engine;
+pub use fleet::{Fleet, FleetConfig, FleetRun, SwitchNdp};
 pub use kernel::{KernelId, KernelInstanceId, KernelSpec, LaunchArgs};
 pub use m2func::{M2Func, NdpApiError};

@@ -27,26 +27,14 @@ pub struct MultiDeviceRun {
 }
 
 impl MultiDeviceRun {
-    /// Ring all-reduce across `n` devices through the switch: 2(n-1) steps,
-    /// each moving `bytes/n` per device over its switch port.
+    /// Ring all-reduce across `n` devices through the switch: 2(n-1)
+    /// lock-step rounds of direct P2P traffic, simulated by
+    /// [`CxlSwitch::ring_allreduce`] against the per-port bandwidth gates
+    /// (the same path the simulated [`crate::fleet::Fleet`] uses).
     pub fn allreduce_cycles(&self) -> Cycle {
-        let n = self.per_device_cycles.len() as u64;
-        if n <= 1 || self.allreduce_bytes_per_device == 0 {
-            return 0;
-        }
+        let n = self.per_device_cycles.len();
         let mut sw = CxlSwitch::new(self.switch, self.clock);
-        let chunk = (self.allreduce_bytes_per_device / n).max(1);
-        let steps = 2 * (n - 1);
-        let mut t = 0;
-        for step in 0..steps {
-            // Each device forwards its chunk to the next ring neighbour;
-            // ports operate concurrently, so one step costs one chunk
-            // traversal of the busiest port.
-            let src = (step % n) as usize % sw.device_ports();
-            let dst = (src + 1) % sw.device_ports();
-            t = sw.peer_to_peer(t, src, dst, chunk.min(u32::MAX as u64) as u32);
-        }
-        t
+        sw.ring_allreduce(0, n, self.allreduce_bytes_per_device)
     }
 
     /// Total runtime: slowest device + combining step.

@@ -12,6 +12,11 @@
 
 use m2ndp_sim::{BandwidthGate, Counter, Cycle, Frequency};
 
+/// HDM placement granularity across devices behind a switch: 2 MB pages
+/// (§IV-A assumes page-granularity placement as in NUMA/multi-GPU systems;
+/// matches the device's 2 MB translation pages).
+pub const HDM_PAGE_BYTES: u64 = 2 << 20;
+
 /// Switch parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchConfig {
@@ -56,11 +61,54 @@ impl HdmRouter {
         Self { device_spans }
     }
 
+    /// Splits HDM across `devices` at [`HDM_PAGE_BYTES`] granularity:
+    /// `bytes_per_device` is rounded **up** to a whole number of 2 MB pages
+    /// so every span is page-aligned and every page lives wholly in one
+    /// device.
+    ///
+    /// # Panics
+    /// Panics if `base` is not page-aligned or `devices == 0`.
+    pub fn even_pages(base: u64, bytes_per_device: u64, devices: usize) -> Self {
+        assert!(devices > 0);
+        assert_eq!(
+            base % HDM_PAGE_BYTES,
+            0,
+            "HDM base must be 2 MB page-aligned"
+        );
+        let per = bytes_per_device.div_ceil(HDM_PAGE_BYTES).max(1) * HDM_PAGE_BYTES;
+        let device_spans = (0..devices as u64)
+            .map(|d| (base + d * per, base + (d + 1) * per))
+            .collect();
+        Self { device_spans }
+    }
+
     /// The device an address routes to, if any.
     pub fn device_of(&self, addr: u64) -> Option<usize> {
         self.device_spans
             .iter()
             .position(|(b, e)| (*b..*e).contains(&addr))
+    }
+
+    /// The owning device plus the address's offset within that device's
+    /// span (how a fleet-global HDM address rebases into device-local
+    /// memory).
+    pub fn local_offset(&self, addr: u64) -> Option<(usize, u64)> {
+        let d = self.device_of(addr)?;
+        Some((d, addr - self.device_spans[d].0))
+    }
+
+    /// The global 2 MB page index of an address inside the routed HDM.
+    pub fn page_of(&self, addr: u64) -> Option<u64> {
+        let (first, _) = *self.device_spans.first()?;
+        self.device_of(addr)
+            .map(|_| (addr - first) / HDM_PAGE_BYTES)
+    }
+
+    /// The full `[base, bound)` span the router covers.
+    pub fn total_span(&self) -> (u64, u64) {
+        let first = self.device_spans.first().map_or(0, |s| s.0);
+        let last = self.device_spans.last().map_or(0, |s| s.1);
+        (first, last)
     }
 
     /// The address span of one device.
@@ -84,6 +132,8 @@ pub struct CxlSwitch {
     traversal: Cycle,
     /// P2P transfers forwarded.
     pub p2p_transfers: Counter,
+    /// P2P payload bytes forwarded.
+    pub p2p_bytes: Counter,
     /// Host transfers forwarded.
     pub host_transfers: Counter,
 }
@@ -99,6 +149,7 @@ impl CxlSwitch {
             host_port: (BandwidthGate::new(bpc), BandwidthGate::new(bpc)),
             traversal: clock.cycles_from_ns(config.traversal_ns),
             p2p_transfers: Counter::new(),
+            p2p_bytes: Counter::new(),
             host_transfers: Counter::new(),
         }
     }
@@ -108,6 +159,22 @@ impl CxlSwitch {
     pub fn host_to_device(&mut self, now: Cycle, dst: usize, bytes: u32) -> Cycle {
         let t = self.host_port.0.send(now, bytes as u64);
         let t = self.ports[dst].0.send(t, bytes as u64);
+        self.host_transfers.inc();
+        t + self.traversal
+    }
+
+    /// Forwards `bytes` from the host port to device port `dst` for
+    /// traffic streams simulated **out of chronological order** (a fleet
+    /// runs its devices one after another, so a later-simulated device's
+    /// offloads carry earlier timestamps than an earlier-simulated
+    /// device's). Charges the host port's serialization *delay* and the
+    /// destination port's gate — whose timestamps are monotone per device —
+    /// without advancing the shared host-port gate clock, so an
+    /// earlier-timestamped send is not spuriously queued behind a
+    /// later-timestamped one.
+    pub fn host_to_device_unordered(&mut self, now: Cycle, dst: usize, bytes: u32) -> Cycle {
+        let ser = (f64::from(bytes) / self.host_port.0.bytes_per_cycle()).ceil() as Cycle;
+        let t = self.ports[dst].0.send(now + ser, bytes as u64);
         self.host_transfers.inc();
         t + self.traversal
     }
@@ -127,7 +194,54 @@ impl CxlSwitch {
         let t = self.ports[src].1.send(now, bytes as u64);
         let t = self.ports[dst].0.send(t, bytes as u64);
         self.p2p_transfers.inc();
+        self.p2p_bytes.add(bytes as u64);
         t + self.traversal
+    }
+
+    /// Ring all-reduce across the first `devices` ports as **actual switch
+    /// traffic**: `2(n-1)` lock-step rounds, each device forwarding a
+    /// `bytes_per_device / n` chunk to its ring successor via direct P2P.
+    /// All ports transfer concurrently within a round (reduce-scatter then
+    /// all-gather); a round completes when its slowest transfer lands, and
+    /// the next round starts only after a device has *received* the
+    /// previous chunk. Large chunks are segmented at 2 MB page granularity
+    /// (the HDM placement unit) so the `u32` packet-size domain is never
+    /// exceeded. Returns the cycle the all-reduce completes; the per-port
+    /// gates and P2P counters record the traffic.
+    pub fn ring_allreduce(&mut self, start: Cycle, devices: usize, bytes_per_device: u64) -> Cycle {
+        let n = devices.min(self.device_ports());
+        if n <= 1 || bytes_per_device == 0 {
+            return start;
+        }
+        let chunk = (bytes_per_device / n as u64).max(1);
+        // Cycle each device becomes ready to send (initially: compute done).
+        let mut ready = vec![start; n];
+        for _round in 0..2 * (n - 1) {
+            let mut next = ready.clone();
+            for (src, &ready_at) in ready.iter().enumerate() {
+                let dst = (src + 1) % n;
+                let mut t = ready_at;
+                let mut remaining = chunk;
+                while remaining > 0 {
+                    let seg = remaining.min(HDM_PAGE_BYTES) as u32;
+                    t = self.peer_to_peer(t, src, dst, seg);
+                    remaining -= seg as u64;
+                }
+                // The successor may start its next round once the chunk
+                // has fully arrived.
+                next[dst] = next[dst].max(t);
+            }
+            ready = next;
+        }
+        ready.into_iter().max().unwrap_or(start)
+    }
+
+    /// Bytes that have crossed one device port: `(to_device, from_device)`.
+    pub fn port_bytes(&self, port: usize) -> (u64, u64) {
+        (
+            self.ports[port].0.total_bytes(),
+            self.ports[port].1.total_bytes(),
+        )
     }
 
     /// Traversal latency in cycles.
@@ -186,6 +300,52 @@ mod tests {
         assert_eq!(r.device_of(0x1_0000_0000 + (1 << 30)), Some(1));
         assert_eq!(r.device_of(0x1_0000_0000 + (8u64 << 30) - 1), Some(7));
         assert_eq!(r.device_of(0x0), None);
+    }
+
+    #[test]
+    fn ring_allreduce_moves_real_traffic() {
+        let mut s = switch();
+        let done = s.ring_allreduce(1000, 4, 1 << 20);
+        assert!(done > 1000);
+        // 2(n-1) rounds × n ports × chunk bytes.
+        assert_eq!(s.p2p_bytes.get(), 6 * 4 * (1 << 18));
+        assert_eq!(s.p2p_transfers.get(), 24);
+        // Every participating port moved the same bytes in each direction.
+        for p in 0..4 {
+            assert_eq!(s.port_bytes(p), (6 << 18, 6 << 18));
+        }
+        assert_eq!(s.port_bytes(5), (0, 0));
+    }
+
+    #[test]
+    fn ring_allreduce_single_device_is_free() {
+        let mut s = switch();
+        assert_eq!(s.ring_allreduce(42, 1, 1 << 20), 42);
+        assert_eq!(s.ring_allreduce(42, 4, 0), 42);
+        assert_eq!(s.p2p_transfers.get(), 0);
+    }
+
+    #[test]
+    fn ring_allreduce_cost_grows_with_devices() {
+        let cost = |n: usize| {
+            let mut s = switch();
+            s.ring_allreduce(0, n, 8 << 20) // 8 MB per device
+        };
+        assert!(cost(8) > cost(2), "{} vs {}", cost(8), cost(2));
+    }
+
+    #[test]
+    fn page_router_aligns_and_translates() {
+        let r = HdmRouter::even_pages(0, 3 << 20, 4); // rounds up to 4 MB
+        for d in 0..4 {
+            let (b, e) = r.span(d);
+            assert_eq!(b % HDM_PAGE_BYTES, 0);
+            assert_eq!(e - b, 4 << 20);
+        }
+        assert_eq!(r.local_offset(5 << 20), Some((1, 1 << 20)));
+        assert_eq!(r.page_of(5 << 20), Some(2));
+        assert_eq!(r.total_span(), (0, 16 << 20));
+        assert_eq!(r.local_offset(16 << 20), None);
     }
 
     #[test]

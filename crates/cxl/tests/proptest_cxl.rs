@@ -1,7 +1,10 @@
-//! Property tests: packet-filter classification and link conservation.
+//! Property tests: packet-filter classification, link conservation, and
+//! HDM routing across the devices behind a switch.
 
 use m2ndp_cxl::filter::Asid;
-use m2ndp_cxl::{CxlLink, CxlLinkConfig, CxlMemPacket, FilterEntry, PacketFilter};
+use m2ndp_cxl::{
+    CxlLink, CxlLinkConfig, CxlMemPacket, FilterEntry, HdmRouter, PacketFilter, HDM_PAGE_BYTES,
+};
 use m2ndp_mem::{MemReq, ReqId, ReqSource};
 use m2ndp_sim::Frequency;
 use proptest::prelude::*;
@@ -69,5 +72,78 @@ proptest! {
             }
         }
         prop_assert_eq!(received, count);
+    }
+
+    /// Every address inside the routed HDM resolves to exactly one device
+    /// (and addresses outside to none), for arbitrary device counts.
+    #[test]
+    fn router_routes_every_hdm_address_to_exactly_one_device(
+        devices in 1usize..=64,
+        pages_per_device in 1u64..64,
+        probe in any::<u64>(),
+    ) {
+        let base = 4 * HDM_PAGE_BYTES;
+        let r = HdmRouter::even_pages(base, pages_per_device * HDM_PAGE_BYTES, devices);
+        let (lo, hi) = r.total_span();
+        // Clamp the probe into (and just around) the HDM window so the
+        // in-range case is actually exercised.
+        let probe = lo.saturating_sub(HDM_PAGE_BYTES) + probe % (hi - lo + 2 * HDM_PAGE_BYTES);
+        let owners = (0..devices)
+            .filter(|&d| {
+                let (b, e) = r.span(d);
+                (b..e).contains(&probe)
+            })
+            .count();
+        if (lo..hi).contains(&probe) {
+            prop_assert_eq!(owners, 1, "address {probe:#x} must have one owner");
+            let d = r.device_of(probe).expect("routes");
+            let (dev, off) = r.local_offset(probe).expect("translates");
+            prop_assert_eq!(dev, d);
+            prop_assert_eq!(r.span(d).0 + off, probe);
+        } else {
+            prop_assert_eq!(owners, 0);
+            prop_assert!(r.device_of(probe).is_none());
+            prop_assert!(r.local_offset(probe).is_none());
+        }
+    }
+
+    /// Device spans are contiguous, non-overlapping, equally sized, and
+    /// page-granular for arbitrary device counts and capacities.
+    #[test]
+    fn router_spans_are_contiguous_nonoverlapping_pages(
+        devices in 1usize..=64,
+        bytes_per_device in 1u64..(1 << 26),
+    ) {
+        let r = HdmRouter::even_pages(0, bytes_per_device, devices);
+        prop_assert_eq!(r.devices(), devices);
+        let per = r.span(0).1 - r.span(0).0;
+        prop_assert_eq!(per % HDM_PAGE_BYTES, 0, "span must be whole pages");
+        prop_assert!(per >= bytes_per_device, "rounding must never shrink");
+        prop_assert!(per - bytes_per_device < HDM_PAGE_BYTES, "round up at most one page");
+        for d in 0..devices {
+            let (b, e) = r.span(d);
+            prop_assert_eq!(b % HDM_PAGE_BYTES, 0, "device {d} base page-aligned");
+            prop_assert_eq!(e - b, per, "device {d} span equal-sized");
+            if d > 0 {
+                prop_assert_eq!(r.span(d - 1).1, b, "device {d} contiguous");
+            }
+        }
+    }
+
+    /// 2 MB placement granularity: a page never straddles devices — every
+    /// address of a page routes to the device owning the page's base.
+    #[test]
+    fn router_places_whole_pages(
+        devices in 1usize..=64,
+        pages_per_device in 1u64..64,
+        page_sel in any::<u64>(),
+        offset in 0u64..HDM_PAGE_BYTES,
+    ) {
+        let r = HdmRouter::even_pages(0, pages_per_device * HDM_PAGE_BYTES, devices);
+        let total_pages = devices as u64 * pages_per_device;
+        let page = page_sel % total_pages;
+        let addr = page * HDM_PAGE_BYTES + offset;
+        prop_assert_eq!(r.device_of(addr), r.device_of(page * HDM_PAGE_BYTES));
+        prop_assert_eq!(r.page_of(addr), Some(page));
     }
 }

@@ -197,6 +197,27 @@ pub fn bytes_touched(cfg: &DlrmConfig) -> u64 {
     cfg.batch as u64 * cfg.lookups as u64 * cfg.row_bytes()
 }
 
+/// Model-parallel sharding across `devices` for the multi-device fleet
+/// (§III-I, §IV-D): the embedding table is split across devices and each
+/// device sums the lookups that hit its shard, so per-device work is ~1/N
+/// while every device still produces its own (disjoint) output slice — SLS
+/// needs **no** cross-device reduction. Per-shard seeds differ so the
+/// devices see distinct Zipf traces.
+///
+/// # Panics
+/// Panics if `devices` is zero.
+pub fn shard(cfg: DlrmConfig, devices: u32) -> Vec<DlrmConfig> {
+    assert!(devices > 0, "need at least one device");
+    (0..devices)
+        .map(|d| DlrmConfig {
+            table_rows: (cfg.table_rows / u64::from(devices)).max(1),
+            lookups: cfg.lookups.div_ceil(devices),
+            seed: cfg.seed ^ (u64::from(d) << 32),
+            ..cfg
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +265,22 @@ mod tests {
             acc += mem.read_f32(data.table_base + idx * 32 + 12);
         }
         assert!((out[8 + 3] - acc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shards_divide_table_and_lookups() {
+        let base = DlrmConfig::default_scaled(256);
+        let shards = shard(base, 8);
+        assert_eq!(shards.len(), 8);
+        for (d, s) in shards.iter().enumerate() {
+            assert_eq!(s.table_rows, base.table_rows / 8);
+            assert_eq!(s.lookups, base.lookups / 8);
+            assert_eq!(s.batch, base.batch, "outputs stay disjoint per shard");
+            if d > 0 {
+                assert_ne!(s.seed, base.seed, "shard {d} must have its own trace");
+            }
+        }
+        assert_eq!(shard(base, 1)[0], base, "1-way shard is the original");
     }
 
     #[test]

@@ -94,6 +94,41 @@ pub fn opt_30b_real_bytes() -> u64 {
     OptConfig::real_weight_bytes(7168, 28672, 48)
 }
 
+/// Tensor-parallel sharding of one decode step across `devices` for the
+/// multi-device fleet (§III-I): the FFN is column-sharded (each device
+/// streams `ffn/N` inner rows) and the KV cache is context-sharded (each
+/// device attends over `context/N` timesteps), so the dominant streamed
+/// bytes scale as ~1/N while the QKV/output projections — whose `H×H`
+/// weights every device needs for its partial sums — stay replicated. The
+/// partial hidden states are then combined by a ring all-reduce through
+/// the switch ([`tensor_parallel_allreduce_bytes`] per device), exactly
+/// the transformer scaling structure Fig. 12b/§IV-D evaluates. Per-shard
+/// seeds differ so devices stream distinct weights.
+///
+/// # Panics
+/// Panics if `devices` is zero, does not divide `ffn`, or exceeds
+/// `context`.
+pub fn tensor_parallel(cfg: OptConfig, devices: u32) -> Vec<OptConfig> {
+    assert!(devices > 0, "need at least one device");
+    assert_eq!(cfg.ffn % devices, 0, "ffn must divide across devices");
+    assert!(cfg.context >= devices, "context must cover every device");
+    (0..devices)
+        .map(|d| OptConfig {
+            ffn: cfg.ffn / devices,
+            context: cfg.context / devices,
+            seed: cfg.seed ^ (u64::from(d) << 32),
+            ..cfg
+        })
+        .collect()
+}
+
+/// Bytes each device contributes to the tensor-parallel ring all-reduce
+/// per decode step: two full-hidden f32 reductions per layer (one after
+/// the attention output projection, one after the FFN down-projection).
+pub fn tensor_parallel_allreduce_bytes(cfg: &OptConfig) -> u64 {
+    2 * u64::from(cfg.layers) * u64::from(cfg.hidden) * 4
+}
+
 /// Generated model + activation locations.
 #[derive(Debug, Clone)]
 pub struct OptData {
@@ -675,6 +710,33 @@ mod tests {
         };
         let seq = decode_step_launches(&data, &ks, 4);
         assert_eq!(seq.len(), 7 * 2);
+    }
+
+    #[test]
+    fn tensor_parallel_shards_ffn_and_context() {
+        let base = OptConfig {
+            hidden: 256,
+            heads: 8,
+            ffn: 1024,
+            layers: 2,
+            context: 128,
+            seed: 9,
+        };
+        let shards = tensor_parallel(base, 4);
+        assert_eq!(shards.len(), 4);
+        for s in &shards {
+            assert_eq!(s.ffn, 256);
+            assert_eq!(s.context, 32);
+            assert_eq!(
+                s.hidden, base.hidden,
+                "hidden stays full for the all-reduce"
+            );
+        }
+        // Per-device streamed bytes shrink with the shard count.
+        assert!(shards[0].sim_weight_bytes() < base.sim_weight_bytes());
+        assert_eq!(tensor_parallel(base, 1)[0], base);
+        // Two hidden-sized f32 reductions per layer.
+        assert_eq!(tensor_parallel_allreduce_bytes(&base), 2 * 2 * 256 * 4);
     }
 
     #[test]
