@@ -27,7 +27,7 @@ fn main() {
         {
             let mut r = OffloadSim::new(OffloadModel::with_defaults(*mech), 48)
                 .run(8000, rate, &service, 7);
-            let p = r.latencies.percentile(0.95) as f64 / 1e3;
+            let p = r.latencies.percentile(0.95) / 1e3;
             sat[i] = sat[i].max(r.throughput);
             // Curves blow past 15 us once saturated (as in the figure).
             cells.push(if p > 1e4 {

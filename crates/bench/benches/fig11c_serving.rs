@@ -1,0 +1,12 @@
+//! Fig. 11c: multi-tenant serving latency–throughput curves on *real*
+//! device simulators — the event-driven runtime (`m2ndp::host::serve`)
+//! admits two open-loop tenants onto a simulated 1–8-device fleet, one
+//! actual kernel launch per request, per offload mechanism. The cells live
+//! in `m2ndp_bench::sweep`, shared with the `figures` CLI.
+
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
+
+fn main() {
+    let (outs, metrics) = run_figure(FigId::Fig11c, false, 1, false);
+    print_figure(FigId::Fig11c, &outs, &metrics);
+}

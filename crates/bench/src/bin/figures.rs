@@ -13,6 +13,12 @@
 //!   --timing FILE          also write a wall-clock timing JSON (per-cell
 //!                          and per-figure wall seconds — the perf-trajectory
 //!                          artifact; wall times never enter the result JSON)
+//!   --snapshot FILE        staleness gate: every cell computed by this run
+//!                          must exist in FILE (a committed consolidated
+//!                          BENCH_RESULTS.json) with byte-identical values;
+//!                          nonzero exit otherwise. Cells are mode-stable,
+//!                          so a --fast run can be checked against a
+//!                          full-sweep snapshot.
 //!   --list                 list figures and bands, run nothing
 //!   --quiet                no tables / per-cell progress, just files + gate
 //! ```
@@ -34,6 +40,7 @@ struct Options {
     check: bool,
     out: String,
     timing: Option<String>,
+    snapshot: Option<String>,
     list: bool,
     quiet: bool,
 }
@@ -41,7 +48,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: figures [--only fig10a,fig10c,...] [--fast] [--jobs N] [--check] [--out DIR] \
-         [--timing FILE] [--list] [--quiet]\nfigures: {}",
+         [--timing FILE] [--snapshot FILE] [--list] [--quiet]\nfigures: {}",
         FigId::all().map(FigId::id).join(", ")
     );
     std::process::exit(2);
@@ -55,6 +62,7 @@ fn parse_args() -> Options {
         check: false,
         out: "target/figures".to_string(),
         timing: None,
+        snapshot: None,
         list: false,
         quiet: false,
     };
@@ -91,6 +99,7 @@ fn parse_args() -> Options {
             "--check" => opts.check = true,
             "--out" => opts.out = args.next().unwrap_or_else(|| usage()),
             "--timing" => opts.timing = Some(args.next().unwrap_or_else(|| usage())),
+            "--snapshot" => opts.snapshot = Some(args.next().unwrap_or_else(|| usage())),
             "--list" => opts.list = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
@@ -183,6 +192,51 @@ fn timing_json(opts: &Options, cells: &[sweep::CellSpec], walls: &[f64], wall_to
     ])
 }
 
+/// Compares every freshly computed cell against `snapshot` (a committed
+/// consolidated `BENCH_RESULTS.json`). Cells are mode-stable — identical in
+/// `--fast` and full sweeps — so any divergence means the committed
+/// snapshot is stale relative to the simulator. Returns the mismatch
+/// descriptions (empty = fresh).
+fn snapshot_mismatches(
+    snapshot: &Json,
+    results: &[(FigId, Vec<CellOut>, Vec<Metric>)],
+) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    let Some(figures) = snapshot.get("figures") else {
+        return vec!["snapshot has no `figures` object".to_string()];
+    };
+    for (fig, outs, _) in results {
+        let Some(cells) = figures.get(fig.id()).and_then(|f| f.get("cells")) else {
+            mismatches.push(format!("{}: figure missing from snapshot", fig.id()));
+            continue;
+        };
+        let Json::Arr(cells) = cells else {
+            mismatches.push(format!("{}: snapshot `cells` is not an array", fig.id()));
+            continue;
+        };
+        for out in outs {
+            let want = sweep::cell_json(out);
+            let got = cells
+                .iter()
+                .find(|c| c.get("key") == Some(&Json::Str(out.key.clone())));
+            match got {
+                None => mismatches.push(format!(
+                    "{}/{}: cell missing from snapshot",
+                    fig.id(),
+                    out.key
+                )),
+                Some(got) if *got != want => mismatches.push(format!(
+                    "{}/{}: cell values differ from snapshot",
+                    fig.id(),
+                    out.key
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    mismatches
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if opts.list {
@@ -264,6 +318,43 @@ fn main() -> ExitCode {
         println!("\nresults written to {}", consolidated.display());
     }
 
+    // Both gates always run (a stale snapshot must not mask a band
+    // regression, or vice versa); failure is combined at the end.
+    let mut gate_failed = false;
+    if let Some(path) = &opts.snapshot {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read snapshot {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let snapshot = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("snapshot {path} is not valid JSON: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mismatches = snapshot_mismatches(&snapshot, &results);
+        println!(
+            "\nsnapshot gate against {path}: {} cell(s) checked, {} stale",
+            results.iter().map(|(_, outs, _)| outs.len()).sum::<usize>(),
+            mismatches.len()
+        );
+        if !mismatches.is_empty() {
+            for m in &mismatches {
+                println!("  STALE {m}");
+            }
+            eprintln!(
+                "{path} is stale relative to the sweep output; regenerate it with a full \
+                 sweep (`figures --jobs N --out target/figures`) and commit the new \
+                 BENCH_RESULTS.json"
+            );
+            gate_failed = true;
+        }
+    }
+
     if opts.check {
         let report = golden::check(&sweep::consolidated_metrics(&results));
         println!("\npaper-anchored gate ({} bands):", report.checked.len());
@@ -290,8 +381,12 @@ fn main() -> ExitCode {
             report.failures().len()
         );
         if !report.passed() {
-            return ExitCode::FAILURE;
+            gate_failed = true;
         }
     }
-    ExitCode::SUCCESS
+    if gate_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

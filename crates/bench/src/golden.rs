@@ -39,7 +39,7 @@ pub fn bands() -> &'static [Band] {
     &BANDS
 }
 
-const BANDS: [Band; 31] = [
+const BANDS: [Band; 35] = [
     // --- Fig. 10c: NDP speedup over the GPU baseline (paper: avg 6.35x,
     // up to 9.71x; M2NDP must win on the bandwidth-bound workloads).
     // Bench-scale observed: HISTO4096 12.4x, SPMV 1.71x, PGRANK 1.84x,
@@ -121,6 +121,46 @@ const BANDS: [Band; 31] = [
         lo: 1.2,
         hi: 2.6,
         paper: "Fig. 10b: M2func 1.39x",
+    },
+    // --- Fig. 11c: multi-tenant serving on *real* device simulators
+    // (event-driven runtime, one kernel launch per request). Observed at
+    // the saturating 1e8/s offered rate: M2func sustains 175x direct-MMIO
+    // throughput on one device (48 concurrent kernels vs the single
+    // serialized register) and 29x on the 8-device fleet (direct MMIO
+    // gains slots with devices, M2func is already unsaturated). The
+    // acceptance floor is 10x.
+    Band {
+        metric: "fig11c/sat_throughput_ratio/M2func_vs_DR/1dev",
+        lo: 80.0,
+        hi: 350.0,
+        paper: "Fig. 11a: M2func sustains 47.3x direct-MMIO throughput; \
+                >= 10x required on the real device sims",
+    },
+    Band {
+        metric: "fig11c/sat_throughput_ratio/M2func_vs_DR/8dev",
+        lo: 12.0,
+        hi: 60.0,
+        paper: "Fig. 11a trend at 8 devices: direct MMIO gains slots with \
+                devices but must stay >= 10x behind M2func",
+    },
+    // Observed at the light 2e5/s rate: RB P95 7.0x M2func's (4491 ns vs
+    // 641 ns — the 4 us launch overhead dominates the 0.3 us kernels).
+    Band {
+        metric: "fig11c/p95_ratio/RB_vs_M2func/1dev",
+        lo: 4.0,
+        hi: 12.0,
+        paper: "Figs. 10b/11a: ring-buffer overhead (z+8y) dwarfs M2func \
+                (z+2x) on fine-grained kernels",
+    },
+    // Observed: 0.886 — the fleet-of-1 P95 exceeds the standalone device's
+    // by exactly the switch's per-launch delivery skew (~80 ns on a
+    // ~640 ns P95); no other divergence is allowed.
+    Band {
+        metric: "fig11c/parity/single_vs_fleet1",
+        lo: 0.82,
+        hi: 0.95,
+        paper: "serving a 1-device fleet must match the standalone device \
+                up to the switch hop",
     },
     // --- Fig. 12a: ablations, runtime normalized to full M2NDP.
     // Observed on HISTO4096: w/o M2func 1.11, w/o fine-grained 6.14

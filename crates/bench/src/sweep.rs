@@ -25,6 +25,7 @@ use m2ndp::cxl::SwitchConfig;
 use m2ndp::host::cpu::{DataHome, HostCpu, HostCpuConfig};
 use m2ndp::host::nsu::NsuModel;
 use m2ndp::host::offload::{OffloadMechanism, OffloadModel, OffloadSim};
+use m2ndp::host::serve;
 use m2ndp::sim::{Frequency, Snapshot as _};
 use m2ndp::workloads::{dlrm, olap, opt};
 use m2ndp::SystemBuilder;
@@ -47,6 +48,12 @@ pub enum FigId {
     Fig10b,
     /// Fig. 10c — ten GPU workloads, NDP speedups over the GPU baseline.
     Fig10c,
+    /// Fig. 11c — multi-tenant serving latency–throughput curves on *real*
+    /// device simulators: the event-driven runtime
+    /// ([`m2ndp::host::serve`]) admits open-loop tenant streams onto a
+    /// simulated fleet (1–8 devices behind the switch), one actual kernel
+    /// launch per request, per offload mechanism.
+    Fig11c,
     /// Fig. 12a — ablation: w/o M²func, w/o fine-grained threading, w/o
     /// address optimization.
     Fig12a,
@@ -68,11 +75,12 @@ pub enum FigId {
 
 impl FigId {
     /// All sweep figures in presentation order.
-    pub fn all() -> [FigId; 9] {
+    pub fn all() -> [FigId; 10] {
         [
             FigId::Fig10a,
             FigId::Fig10b,
             FigId::Fig10c,
+            FigId::Fig11c,
             FigId::Fig12a,
             FigId::Fig12b,
             FigId::Fig13a,
@@ -88,6 +96,7 @@ impl FigId {
             FigId::Fig10a => "fig10a",
             FigId::Fig10b => "fig10b",
             FigId::Fig10c => "fig10c",
+            FigId::Fig11c => "fig11c",
             FigId::Fig12a => "fig12a",
             FigId::Fig12b => "fig12b",
             FigId::Fig13a => "fig13a",
@@ -103,6 +112,9 @@ impl FigId {
             FigId::Fig10a => "OLAP Evaluate phase (paper: avg 73.4x, up to 128x)",
             FigId::Fig10b => "KVStore P95 improvement (paper: DR 0.58, RB 0.29, M2func 1.39)",
             FigId::Fig10c => "GPU-workload speedups (paper: M2NDP up to 9.71x, avg 6.35x)",
+            FigId::Fig11c => {
+                "Multi-tenant serving on real device sims (paper Fig. 11a: M2func 47.3x DR tput)"
+            }
             FigId::Fig12a => "Ablation (paper: w/o M2func up to 2.41, w/o fine-grained up to 1.51)",
             FigId::Fig12b => "Multi-device scaling (paper: 7.84x DLRM at 8 devices)",
             FigId::Fig13a => "Frequency / LtU sensitivity (paper: 1GHz -10%, 3GHz +2.5%)",
@@ -170,6 +182,17 @@ enum Work {
     /// NDP-in-switch processing passive third-party memories through
     /// `memories` populated switch ports (Fig. 14b).
     SwitchNdpRun { memories: u32 },
+    /// Multi-tenant serving over a simulated fleet: open-loop tenants,
+    /// every request an actual kernel launch routed through the switch
+    /// (Fig. 11c).
+    Serve {
+        mechanism: OffloadMechanism,
+        devices: u32,
+        rate_per_sec: f64,
+    },
+    /// The same tenants served by one standalone device (no switch in the
+    /// launch path) — the parity reference for the 1-device fleet.
+    ServeSingleRef { rate_per_sec: f64 },
 }
 
 /// The bench-scale device every fleet cell instantiates per shard (the
@@ -208,6 +231,61 @@ fn fleet_opt_cfg() -> opt::OptConfig {
 /// Fleet-cell labels (fig14a keys are `<label>/fleet<n>`).
 const FLEET_DLRM: &str = "DLRM(SLS)-B256";
 const FLEET_OPT: &str = "OPT-TP(Gen)";
+
+/// The offered-load grid of the fig11c latency–throughput curves (total
+/// req/s across both tenants). The lowest and highest rates are in the
+/// fast grid, so the derived light-load and saturation metrics stay
+/// mode-stable.
+const SERVE_RATES: [f64; 4] = [2e5, 2e6, 2e7, 1e8];
+
+/// Per-tenant SLO threshold of the serving cells (ns).
+const SERVE_SLO_NS: f64 = 5_000.0;
+
+/// Stable key fragment for an offered rate ("2e5", "1e8").
+fn rate_key(rate: f64) -> String {
+    format!("{rate:.0e}")
+}
+
+/// The serving cells' device: the Table IV device at 2 units — the same
+/// small store-serving configuration the Fig. 10b service-time measurement
+/// uses, so per-request kernel runtimes land in the paper's 0.77 µs P95
+/// regime.
+fn serve_device_cfg() -> M2ndpConfig {
+    let mut cfg = M2ndpConfig::default_device();
+    cfg.engine.units = 2;
+    cfg
+}
+
+/// The two open-loop tenants every serving cell runs: a Poisson tenant at
+/// 70% of the offered rate and a cycled-trace tenant (bursty ±40% gaps) at
+/// 30%.
+fn serve_tenants(rate_per_sec: f64) -> Vec<serve::TenantSpec> {
+    let trace_mean_gap = 1e9 / (rate_per_sec * 0.3);
+    vec![
+        serve::TenantSpec {
+            name: "tenantA".into(),
+            arrival: serve::Arrival::Poisson {
+                rate_per_sec: rate_per_sec * 0.7,
+            },
+            requests: 1000,
+            slo_ns: SERVE_SLO_NS,
+            seed: 0x5EA1,
+        },
+        serve::TenantSpec {
+            name: "tenantB".into(),
+            arrival: serve::Arrival::Trace {
+                gaps_ns: vec![
+                    0.6 * trace_mean_gap,
+                    1.0 * trace_mean_gap,
+                    1.4 * trace_mean_gap,
+                ],
+            },
+            requests: 500,
+            slo_ns: SERVE_SLO_NS,
+            seed: 0x5EB2,
+        },
+    ]
+}
 
 /// Raw output of one cell.
 #[derive(Debug, Clone)]
@@ -319,6 +397,37 @@ pub fn cells(fig: FigId, fast: bool) -> Vec<CellSpec> {
                         .map(move |&p| gpu(fig, p, w, Variant::Default))
                 })
                 .collect()
+        }
+        FigId::Fig11c => {
+            let rates: &[f64] = if fast {
+                &[SERVE_RATES[0], SERVE_RATES[3]]
+            } else {
+                &SERVE_RATES
+            };
+            let devices: &[u32] = if fast { &[1, 8] } else { &[1, 2, 4, 8] };
+            let mut out = vec![CellSpec {
+                fig,
+                key: format!("single/{}", rate_key(SERVE_RATES[0])),
+                work: Work::ServeSingleRef {
+                    rate_per_sec: SERVE_RATES[0],
+                },
+            }];
+            for &n in devices {
+                for (label, mechanism) in MECHANISMS {
+                    for &rate in rates {
+                        out.push(CellSpec {
+                            fig,
+                            key: format!("{label}/{n}dev/{}", rate_key(rate)),
+                            work: Work::Serve {
+                                mechanism,
+                                devices: n,
+                                rate_per_sec: rate,
+                            },
+                        });
+                    }
+                }
+            }
+            out
         }
         FigId::Fig12a => sweep_workloads(fast)
             .into_iter()
@@ -555,7 +664,7 @@ pub fn run_cell(spec: &CellSpec) -> CellOut {
             // the paper where DR degrades P95 but still serves.
             let mut res = OffloadSim::new(OffloadModel::with_defaults(*mechanism), 48)
                 .run(10_000, 2.0e5, &service, *seed);
-            out(0, res.latencies.percentile(0.95) as f64, None, Vec::new())
+            out(0, res.latencies.percentile(0.95), None, Vec::new())
         }
         Work::DlrmPartition { devices } => {
             let n = *devices;
@@ -740,7 +849,65 @@ pub fn run_cell(spec: &CellSpec) -> CellOut {
             let pulled = (stats.link_m2s_bytes + stats.link_s2m_bytes) as f64;
             out(cycles, ns, Some(stats), vec![("port_wire_bytes", pulled)])
         }
+        Work::Serve {
+            mechanism,
+            devices,
+            rate_per_sec,
+        } => {
+            let backend = serve::ServeBackend::Fleet(Box::new(Fleet::new(FleetConfig {
+                devices: *devices as usize,
+                device: serve_device_cfg(),
+                switch: SwitchConfig::default(),
+                hdm_bytes_per_device: 1 << 30,
+            })));
+            let (ns, stats, extra) = run_serve(backend, *mechanism, *rate_per_sec);
+            out(0, ns, Some(stats), extra)
+        }
+        Work::ServeSingleRef { rate_per_sec } => {
+            let backend =
+                serve::ServeBackend::Device(Box::new(CxlM2ndpDevice::new(serve_device_cfg())));
+            let (ns, stats, extra) = run_serve(backend, OffloadMechanism::M2Func, *rate_per_sec);
+            out(0, ns, Some(stats), extra)
+        }
     }
+}
+
+/// Runs one serving cell: builds the sharded KV store inside the backend,
+/// serves the two open-loop tenants (every request a real kernel launch),
+/// and returns (P95 ns, device stats, scalar outputs).
+fn run_serve(
+    mut backend: serve::ServeBackend,
+    mechanism: OffloadMechanism,
+    rate_per_sec: f64,
+) -> (f64, DeviceStats, Vec<(&'static str, f64)>) {
+    let mut wl = serve::KvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
+    let cfg = serve::ServeConfig::with_defaults(mechanism);
+    let mut report = serve::run(&mut backend, &mut wl, &cfg, &serve_tenants(rate_per_sec));
+    let stats = match &backend {
+        serve::ServeBackend::Device(d) => d.stats(),
+        serve::ServeBackend::Fleet(f) => f.stats(),
+    };
+    let p95 = report.combined.percentile(0.95);
+    let p50 = report.combined.percentile(0.5);
+    let slo: u64 = report.tenants.iter().map(|t| t.slo_violations).sum();
+    let max_out = report.max_outstanding.iter().copied().max().unwrap_or(0);
+    let extra = vec![
+        ("throughput_rps", report.throughput),
+        ("offered_rps", report.offered_per_sec),
+        ("p50_ns", p50),
+        (
+            "tenant_a_p95_ns",
+            report.tenants[0].latencies.percentile(0.95),
+        ),
+        (
+            "tenant_b_p95_ns",
+            report.tenants[1].latencies.percentile(0.95),
+        ),
+        ("slo_violations", slo as f64),
+        ("max_outstanding", f64::from(max_out)),
+        ("launches", report.launches as f64),
+    ];
+    (p95, stats, extra)
 }
 
 /// Executes `cells` on up to `jobs` worker threads and returns outputs **in
@@ -918,6 +1085,50 @@ pub fn derive(fig: FigId, outs: &[CellOut]) -> Vec<Metric> {
             if fast4.len() == GpuWorkload::sweep_subset().len() {
                 // Stable across fast/full modes: always the same 4 workloads.
                 m.push(("geomean_speedup_fast4/M2NDP".into(), geomean(&fast4)));
+            }
+        }
+        FigId::Fig11c => {
+            let low = rate_key(SERVE_RATES[0]);
+            let sat = rate_key(SERVE_RATES[3]);
+            for n in [1u32, 2, 4, 8] {
+                for (label, _) in MECHANISMS {
+                    for rate in SERVE_RATES {
+                        let rk = rate_key(rate);
+                        if let Some(o) = find(outs, &format!("{label}/{n}dev/{rk}")) {
+                            m.push((format!("p95_ns/{label}/{n}dev/{rk}"), o.ns));
+                            m.push((
+                                format!("throughput/{label}/{n}dev/{rk}"),
+                                extra(o, "throughput_rps"),
+                            ));
+                        }
+                    }
+                }
+                // Sustained-throughput ratio at the saturating offered rate
+                // (the paper's 47.3x M2func-vs-direct claim, Fig. 11a).
+                if let (Some(m2), Some(dr)) = (
+                    find(outs, &format!("M2func/{n}dev/{sat}")),
+                    find(outs, &format!("CXL.io_DR/{n}dev/{sat}")),
+                ) {
+                    m.push((
+                        format!("sat_throughput_ratio/M2func_vs_DR/{n}dev"),
+                        extra(m2, "throughput_rps") / extra(dr, "throughput_rps"),
+                    ));
+                }
+                // Light-load tail inflation of the ring buffer.
+                if let (Some(m2), Some(rb)) = (
+                    find(outs, &format!("M2func/{n}dev/{low}")),
+                    find(outs, &format!("CXL.io_RB/{n}dev/{low}")),
+                ) {
+                    m.push((format!("p95_ratio/RB_vs_M2func/{n}dev"), rb.ns / m2.ns));
+                }
+            }
+            // Single-device vs fleet-of-1 parity: the same tenants and
+            // store, with only the switch hop in between.
+            if let (Some(s), Some(f1)) = (
+                find(outs, &format!("single/{low}")),
+                find(outs, &format!("M2func/1dev/{low}")),
+            ) {
+                m.push(("parity/single_vs_fleet1".into(), s.ns / f1.ns));
             }
         }
         FigId::Fig12a => {
@@ -1105,7 +1316,11 @@ fn stats_json(stats: &DeviceStats) -> Json {
     )
 }
 
-fn cell_json(out: &CellOut) -> Json {
+/// Serializes one cell exactly as it appears in the per-figure JSON
+/// (`key`, `cycles`, `ns`, `extra`, `stats`). Public so the snapshot
+/// staleness gate (`figures --snapshot`) can compare freshly computed
+/// cells against the committed `BENCH_RESULTS.json` structurally.
+pub fn cell_json(out: &CellOut) -> Json {
     let mut pairs = vec![
         ("key".to_string(), Json::Str(out.key.clone())),
         ("cycles".to_string(), Json::U64(out.cycles)),
@@ -1324,6 +1539,53 @@ pub fn print_figure(fig: FigId, outs: &[CellOut], metrics: &[Metric]) {
             if let Some(g) = metric(metrics, "geomean_speedup/M2NDP") {
                 println!("M2NDP geomean speedup: {g:.2}x (paper: 6.35x average)");
             }
+        }
+        FigId::Fig11c => {
+            let mut t = Table::new(vec![
+                "devices @ offered",
+                "M2func P95 (tput/s)",
+                "CXL.io_DR P95 (tput/s)",
+                "CXL.io_RB P95 (tput/s)",
+            ]);
+            for n in [1u32, 2, 4, 8] {
+                for rate in SERVE_RATES {
+                    let rk = rate_key(rate);
+                    if find(outs, &format!("M2func/{n}dev/{rk}")).is_none() {
+                        continue;
+                    }
+                    let mut cells = vec![format!("{n}dev @ {rk}/s")];
+                    for label in ["M2func", "CXL.io_DR", "CXL.io_RB"] {
+                        let cell = find(outs, &format!("{label}/{n}dev/{rk}"))
+                            .map(|o| {
+                                format!("{:>8.0} ns ({:.2e})", o.ns, extra(o, "throughput_rps"))
+                            })
+                            .unwrap_or_else(|| "-".into());
+                        cells.push(cell);
+                    }
+                    t.row(cells);
+                }
+            }
+            t.print(
+                "Fig. 11c — multi-tenant serving on real device sims: P95 latency and \
+                 steady-window throughput per offload mechanism (paper Fig. 11a trends)",
+            );
+            for n in [1u32, 8] {
+                if let Some(v) = metric(
+                    metrics,
+                    &format!("sat_throughput_ratio/M2func_vs_DR/{n}dev"),
+                ) {
+                    println!(
+                        "{n} device(s): M2func sustains {v:.1}x direct-MMIO throughput at \
+                         saturation (paper: 47.3x, must be >= 10x)"
+                    );
+                }
+            }
+            println!(
+                "single-device vs fleet-of-1 P95 parity: {} (switch hop only)",
+                fmt_or_dash(metric(metrics, "parity/single_vs_fleet1"), |v| format!(
+                    "{v:.4}"
+                )),
+            );
         }
         FigId::Fig12a => {
             let mut t = Table::new(vec![

@@ -404,6 +404,32 @@ impl CxlM2ndpDevice {
         ret
     }
 
+    /// Performs a kernel launch through the full M²func wire protocol:
+    /// the arguments are encoded into the CXL.mem write payload
+    /// ([`crate::m2func::encode_launch`]), the controller decodes and
+    /// dispatches the call, and the return value is left at the caller's
+    /// region offset (where a subsequent host read fetches it, Table II).
+    /// The single implementation behind both the standalone-device and
+    /// fleet serving paths, so the wire convention cannot diverge.
+    ///
+    /// # Errors
+    /// Whatever error code the controller returned on the wire.
+    pub fn m2func_launch(
+        &mut self,
+        asid: u16,
+        args: LaunchArgs,
+    ) -> Result<KernelInstanceId, crate::NdpApiError> {
+        let words = crate::m2func::encode_launch(&args);
+        let call = crate::m2func::M2FuncCall::LaunchKernel(crate::m2func::decode_launch(&words)?);
+        let ret = self.handle_m2func_call(asid, call, false);
+        if let Some(err) = crate::NdpApiError::from_code(ret) {
+            return Err(err);
+        }
+        Ok(KernelInstanceId(
+            u32::try_from(ret).map_err(|_| crate::NdpApiError::BadArguments)?,
+        ))
+    }
+
     /// Stores an M²func return value (visible to subsequent host reads of
     /// the same region offset).
     pub fn set_m2func_return(&mut self, asid: u16, offset: u64, value: i64) {

@@ -151,6 +151,13 @@ impl Fleet {
         self.clock
     }
 
+    /// Fleet cycle at which device `i`'s *latest* offload store arrived
+    /// through the switch (what [`Self::launch_routed`] charged; open-loop
+    /// serving reads this back as the per-launch switch skew).
+    pub fn offload_arrival(&self, i: usize) -> Cycle {
+        self.offload_arrival[i]
+    }
+
     /// Registers `spec` on every device, returning the per-device ids.
     pub fn register_kernel_all(&mut self, spec: &KernelSpec) -> Vec<KernelId> {
         self.devices
@@ -192,6 +199,40 @@ impl Fleet {
     /// (what shard builders hand to [`Self::launch_routed`]).
     pub fn shard_base(&self, i: usize) -> u64 {
         self.router.span(i).0
+    }
+
+    /// Routes one launch like [`Self::launch_routed`], but through the full
+    /// M²func wire protocol: the launch arguments are encoded into the
+    /// CXL.mem write payload ([`crate::m2func::encode_launch`]), the store
+    /// crosses the switch to the owning device, and the device's NDP
+    /// controller decodes and dispatches the call
+    /// ([`CxlM2ndpDevice::handle_m2func_call`]), leaving the instance id at
+    /// the caller's M²func region offset as a real host would read it back.
+    ///
+    /// Returns the owning device, the instance id, and the fleet cycle the
+    /// launch store arrived at the device port (what open-loop serving
+    /// charges as switch-induced launch skew).
+    ///
+    /// # Errors
+    /// [`NdpApiError::BadArguments`] when `pool_base` routes to no device;
+    /// otherwise whatever error the device's controller returned.
+    pub fn m2func_launch_routed(
+        &mut self,
+        issue: Cycle,
+        asid: u16,
+        pool_base: u64,
+        args: LaunchArgs,
+    ) -> Result<(usize, KernelInstanceId, Cycle), NdpApiError> {
+        let Some((dev, _offset)) = self.router.local_offset(pool_base) else {
+            return Err(NdpApiError::BadArguments);
+        };
+        let arrival = self
+            .switch
+            .host_to_device_unordered(issue, dev, M2FUNC_OFFLOAD_BYTES);
+        self.offload_arrival[dev] = self.offload_arrival[dev].max(arrival);
+        let inst = self.devices[dev].m2func_launch(asid, args)?;
+        self.last_instance[dev] = Some(inst);
+        Ok((dev, inst, arrival))
     }
 
     /// Runs every device until its most recently launched instance
@@ -470,6 +511,32 @@ mod tests {
                 "port {d}"
             );
         }
+    }
+
+    #[test]
+    fn m2func_protocol_launch_routes_and_returns_instance() {
+        let mut f = fleet(2);
+        let kids = f.register_kernel_all(&vec_double());
+        let base = 0x40_0000u64;
+        for i in 0..64u64 {
+            f.device_mut(1).memory_mut().write_u32(base + i * 4, 21);
+        }
+        let pool = f.shard_base(1);
+        let (dev, inst, arrival) = f
+            .m2func_launch_routed(5, 9, pool, LaunchArgs::new(kids[1], base, base + 64 * 4))
+            .expect("protocol launch routes");
+        assert_eq!(dev, 1);
+        assert!(arrival > 5, "switch must add latency to the launch store");
+        // The controller left the instance id at the launch offset, like a
+        // host CXL.mem read of the M²func region would fetch it.
+        assert_eq!(
+            f.device(1)
+                .m2func_return(9, crate::m2func::M2Func::LaunchKernel.offset()),
+            Some(inst.0 as i64)
+        );
+        let run = f.run_launched();
+        assert!(run.kernel_cycles[1] > 0);
+        assert_eq!(f.device(1).memory().read_u32(base), 42);
     }
 
     #[test]

@@ -102,6 +102,20 @@ impl NdpApiError {
             NdpApiError::ResourceExceeded => -6,
         }
     }
+
+    /// Decodes a negative wire value back into the error (the host-runtime
+    /// half of [`Self::code`]); `None` for non-error (≥ 0) or unknown codes.
+    pub fn from_code(code: i64) -> Option<Self> {
+        match code {
+            -1 => Some(NdpApiError::UnknownKernel),
+            -2 => Some(NdpApiError::UnknownInstance),
+            -3 => Some(NdpApiError::LaunchBufferFull),
+            -4 => Some(NdpApiError::BadArguments),
+            -5 => Some(NdpApiError::NotPrivileged),
+            -6 => Some(NdpApiError::ResourceExceeded),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for NdpApiError {
@@ -313,7 +327,11 @@ mod tests {
             NdpApiError::ResourceExceeded,
         ] {
             assert!(e.code() < 0, "{e}");
+            assert_eq!(NdpApiError::from_code(e.code()), Some(e));
         }
+        assert_eq!(NdpApiError::from_code(0), None);
+        assert_eq!(NdpApiError::from_code(42), None);
+        assert_eq!(NdpApiError::from_code(-99), None);
         assert_eq!(InstanceStatus::Finished.code(), 0);
         assert_eq!(InstanceStatus::Running.code(), 1);
         assert_eq!(InstanceStatus::Pending.code(), 2);

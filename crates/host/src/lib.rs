@@ -11,6 +11,11 @@
 //!   the CXL.io ring-buffer and direct-MMIO schemes (Fig. 5), including
 //!   their concurrency limits, plus the open-loop throughput/tail-latency
 //!   simulation behind Figs. 1b, 10b and 11a.
+//! * [`serve`] — the event-driven multi-tenant serving runtime: open-loop
+//!   tenant streams admitted onto *real* device simulators (a standalone
+//!   [`m2ndp_core::CxlM2ndpDevice`] or a switched
+//!   [`m2ndp_core::fleet::Fleet`]), one actual kernel launch per request
+//!   (fig11c).
 //! * [`roofline`] — the Fig. 1a roofline analysis.
 //! * [`nsu`] — the NSU prior work \[81\]: host-translated addresses for every
 //!   NDP access, bottlenecked on the CXL link.
@@ -29,7 +34,9 @@ pub mod domain_specific;
 pub mod nsu;
 pub mod offload;
 pub mod roofline;
+pub mod serve;
 
 pub use cpu::{HostCpu, HostCpuConfig};
 pub use offload::{OffloadMechanism, OffloadSim};
 pub use roofline::Roofline;
+pub use serve::{ServeBackend, ServeConfig, TenantSpec};

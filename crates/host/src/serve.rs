@@ -1,0 +1,757 @@
+//! Event-driven, multi-tenant request serving over *real* device
+//! simulators — the runtime behind the fig11c latency–throughput curves.
+//!
+//! Where [`crate::offload::OffloadSim`] replays a measured service-time
+//! distribution through a closed-form slot pool, this runtime drives the
+//! cycle-level simulators themselves: every admitted request becomes an
+//! actual kernel launch on a [`CxlM2ndpDevice`] — through the full M²func
+//! wire protocol ([`m2ndp_core::m2func`]) when the mechanism is M²func —
+//! or is routed through the `CxlSwitch`/`HdmRouter` to the owning device
+//! of a [`Fleet`], with the launch store charged on the switch ports.
+//!
+//! The pieces:
+//!
+//! * **Tenants** ([`TenantSpec`]) — independent open-loop arrival streams
+//!   (Poisson or a cycled trace of inter-arrival gaps), each with its own
+//!   seed, request budget and SLO threshold.
+//! * **Admission** — per-device FIFO queues feeding a slot pool of
+//!   `min(mechanism.max_concurrent, device_slots)` kernel slots; the
+//!   pre-launch phase is charged *after* admission (the Fig. 5 semantics —
+//!   a doorbell/DMA cannot overlap the queue wait), and direct MMIO holds
+//!   its single slot until the host has read the result back (§II-C).
+//! * **Event clock** — `f64` nanoseconds end to end
+//!   ([`m2ndp_sim::FEventQueue`]); the only integer quantization is the
+//!   switch's own cycle-level model, whose per-launch skew is converted
+//!   back to ns and added to the pre phase.
+//! * **Measurement** — warm-up and drain request fractions are excluded
+//!   from the steady window; per-tenant latency [`FHistogram`]s and SLO
+//!   counters cover the measured window only.
+//!
+//! Everything is deterministic: arrivals flow from tenant seeds, ties in
+//! the event queue break by insertion order, and the device simulators are
+//! themselves deterministic, so a serving run is reproducible
+//! bit-for-bit at any sweep parallelism.
+
+use std::collections::VecDeque;
+
+use m2ndp_core::fleet::Fleet;
+use m2ndp_core::{CxlM2ndpDevice, KernelId, KernelInstanceId, LaunchArgs};
+use m2ndp_sim::rng::{exponential, seeded, Zipf};
+use m2ndp_sim::{FEventQueue, FHistogram, Frequency};
+use m2ndp_workloads::kvstore;
+
+use crate::offload::{OffloadMechanism, OffloadModel};
+
+/// How a tenant's requests arrive.
+#[derive(Debug, Clone)]
+pub enum Arrival {
+    /// Open-loop Poisson arrivals at a fixed offered rate.
+    Poisson {
+        /// Offered load (requests per second).
+        rate_per_sec: f64,
+    },
+    /// A recorded trace of inter-arrival gaps (ns), cycled to cover the
+    /// tenant's request budget.
+    Trace {
+        /// The gap sequence; must be non-empty and non-negative.
+        gaps_ns: Vec<f64>,
+    },
+}
+
+/// One tenant: an independent open-loop request stream.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (also the report key).
+    pub name: String,
+    /// The arrival process.
+    pub arrival: Arrival,
+    /// Number of requests this tenant issues.
+    pub requests: usize,
+    /// Latency SLO (ns); measured-window completions above it count as
+    /// violations.
+    pub slo_ns: f64,
+    /// Seed for the tenant's arrival and key streams.
+    pub seed: u64,
+}
+
+/// Runtime parameters shared by all tenants.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The offload mechanism (launch/return overheads + concurrency cap).
+    pub model: OffloadModel,
+    /// Kernel slots the device itself sustains (48 in Table IV); the
+    /// effective pool is `min(model.max_concurrent(), device_slots)`.
+    pub device_slots: u32,
+    /// Fraction of requests (in global arrival order) treated as warm-up
+    /// and excluded from the measured window.
+    pub warmup_frac: f64,
+    /// Fraction of requests at the tail excluded as drain.
+    pub drain_frac: f64,
+}
+
+impl ServeConfig {
+    /// Default-parameter config for a mechanism: 48 device slots, 10%
+    /// warm-up, 5% drain.
+    pub fn with_defaults(mechanism: OffloadMechanism) -> Self {
+        Self {
+            model: OffloadModel::with_defaults(mechanism),
+            device_slots: 48,
+            warmup_frac: crate::offload::WARMUP_FRAC,
+            drain_frac: 0.05,
+        }
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Issuing tenant (also the ASID on the M²func wire).
+    pub tenant: u16,
+    /// Per-tenant sequence number (arrival order within the tenant).
+    pub seq: u64,
+    /// Arrival time (ns).
+    pub arrival_ns: f64,
+    /// Workload key (e.g. the KV item id); determines the owning device.
+    pub key: u64,
+}
+
+/// What the runtime needs from a workload: keys, routing, launches, and
+/// functional verification.
+pub trait ServeWorkload {
+    /// Samples the key of request `seq` of `tenant` from the workload's key
+    /// distribution (`rng` is the tenant's dedicated key stream).
+    fn sample_key(&mut self, tenant: u16, rng: &mut m2ndp_sim::rng::StdRng) -> u64;
+
+    /// Fleet-global address owning `key`'s data (what the `HdmRouter`
+    /// routes on). Ignored by single-device backends.
+    fn route_addr(&self, key: u64, devices: usize) -> u64;
+
+    /// The device-local launch that serves `req` on device `dev`.
+    fn launch_args(&mut self, req: &Request, dev: usize) -> LaunchArgs;
+
+    /// Functional check after the request's kernel ran.
+    ///
+    /// # Errors
+    /// Describes the mismatch.
+    fn verify(&self, req: &Request, dev: usize, device: &CxlM2ndpDevice) -> Result<(), String>;
+}
+
+/// The simulators the runtime serves against.
+#[derive(Debug)]
+pub enum ServeBackend {
+    /// One standalone device; the launch store crosses only the device's
+    /// own CXL link (already inside the mechanism's `pre_ns`).
+    Device(Box<CxlM2ndpDevice>),
+    /// N devices behind the CXL switch; every launch is routed through the
+    /// `HdmRouter` and charged on the switch ports.
+    Fleet(Box<Fleet>),
+}
+
+impl ServeBackend {
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        match self {
+            ServeBackend::Device(_) => 1,
+            ServeBackend::Fleet(f) => f.len(),
+        }
+    }
+
+    /// The device clock (all fleet devices share one domain).
+    pub fn clock(&self) -> Frequency {
+        match self {
+            ServeBackend::Device(d) => d.config().engine.freq,
+            ServeBackend::Fleet(f) => f.clock(),
+        }
+    }
+
+    /// Immutable access to device `i`.
+    pub fn device(&self, i: usize) -> &CxlM2ndpDevice {
+        match self {
+            ServeBackend::Device(d) => d,
+            ServeBackend::Fleet(f) => f.device(i),
+        }
+    }
+
+    /// The fleet, when this backend is one (switch counters for tests).
+    pub fn fleet(&self) -> Option<&Fleet> {
+        match self {
+            ServeBackend::Device(_) => None,
+            ServeBackend::Fleet(f) => Some(f),
+        }
+    }
+}
+
+/// Full timing record of one served request.
+#[derive(Debug, Clone, Copy)]
+pub struct ReqRecord {
+    /// Issuing tenant.
+    pub tenant: u16,
+    /// Per-tenant sequence number.
+    pub seq: u64,
+    /// Device that served the request.
+    pub device: usize,
+    /// Arrival (ns).
+    pub arrival_ns: f64,
+    /// Admission into a kernel slot (ns, `>= arrival_ns`).
+    pub admitted_ns: f64,
+    /// Kernel start after the pre-launch phase (+ switch skew in fleets).
+    pub start_ns: f64,
+    /// Simulated kernel service time (ns, from the device simulator).
+    pub service_ns: f64,
+    /// Host-observed completion (ns).
+    pub observed_ns: f64,
+}
+
+impl ReqRecord {
+    /// End-to-end latency (ns).
+    pub fn latency_ns(&self) -> f64 {
+        self.observed_ns - self.arrival_ns
+    }
+}
+
+/// Per-tenant outcome over the measured window.
+#[derive(Debug)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Requests completed (all, including warm-up/drain).
+    pub completed: u64,
+    /// Requests inside the measured window.
+    pub measured: u64,
+    /// Measured-window end-to-end latencies (ns).
+    pub latencies: FHistogram,
+    /// Measured completions above the tenant's SLO.
+    pub slo_violations: u64,
+}
+
+/// Outcome of one serving run.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-tenant reports, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Measured-window latencies across all tenants.
+    pub combined: FHistogram,
+    /// Steady-state throughput (requests/s) over the measured window: the
+    /// window opens when warm-up is over (the first measured arrival, or
+    /// the last warm-up completion if the ramp is still draining) and
+    /// closes at the last measured completion; drain-tail requests are
+    /// excluded from the count entirely.
+    pub throughput: f64,
+    /// Offered load (requests/s): total requests over the arrival span.
+    pub offered_per_sec: f64,
+    /// The `[open, close]` measurement window (ns).
+    pub steady_window: (f64, f64),
+    /// Peak concurrently outstanding kernels per device (direct MMIO must
+    /// never exceed 1).
+    pub max_outstanding: Vec<u32>,
+    /// Total kernel launches performed on the simulators.
+    pub launches: u64,
+    /// Every request's timing record, in global arrival order.
+    pub records: Vec<ReqRecord>,
+}
+
+impl ServeReport {
+    /// Measured-window P95 across all tenants (ns).
+    pub fn p95_ns(&mut self) -> f64 {
+        self.combined.percentile(0.95)
+    }
+}
+
+/// Runs `tenants` against `backend`, one kernel launch per request.
+///
+/// Admission is event-driven: arrivals enqueue into the owning device's
+/// FIFO queue; whenever the device has a free kernel slot the queue head is
+/// admitted, pays the mechanism's pre-launch phase (plus, in fleets, the
+/// switch's cycle-accurate delivery skew for the launch store), runs its
+/// kernel *on the device simulator* to obtain the real service time, and
+/// is observed by the host `post_ns` after kernel completion.
+///
+/// # Panics
+/// Panics on malformed tenant specs (empty trace, non-positive rate), on
+/// launch rejections from the device, or on functional verification
+/// failures — a serving run that drops requests is a broken experiment,
+/// not a data point.
+pub fn run(
+    backend: &mut ServeBackend,
+    workload: &mut dyn ServeWorkload,
+    cfg: &ServeConfig,
+    tenants: &[TenantSpec],
+) -> ServeReport {
+    let ndev = backend.devices();
+    let clock = backend.clock();
+    let slots = cfg.model.max_concurrent().min(cfg.device_slots).max(1);
+    let (pre, post) = (cfg.model.pre_ns(), cfg.model.post_ns());
+    let direct = cfg.model.mechanism() == OffloadMechanism::CxlIoDirect;
+
+    // ---- generate every tenant's arrival + key stream ----
+    let mut requests: Vec<Request> = Vec::new();
+    for (t, spec) in tenants.iter().enumerate() {
+        let mut arr_rng = seeded(spec.seed);
+        let mut key_rng = seeded(spec.seed ^ 0x4B45_5953); // "KEYS"
+        let mut t_ns = 0.0f64;
+        for seq in 0..spec.requests {
+            let gap = match &spec.arrival {
+                Arrival::Poisson { rate_per_sec } => {
+                    assert!(*rate_per_sec > 0.0, "tenant rate must be positive");
+                    exponential(&mut arr_rng, 1e9 / rate_per_sec)
+                }
+                Arrival::Trace { gaps_ns } => {
+                    assert!(!gaps_ns.is_empty(), "trace tenants need gaps");
+                    gaps_ns[seq % gaps_ns.len()]
+                }
+            };
+            assert!(gap >= 0.0 && gap.is_finite(), "bad inter-arrival gap");
+            t_ns += gap;
+            requests.push(Request {
+                tenant: t as u16,
+                seq: seq as u64,
+                arrival_ns: t_ns,
+                key: workload.sample_key(t as u16, &mut key_rng),
+            });
+        }
+    }
+    // Global arrival order; ties break by (tenant, seq) so merged streams
+    // stay deterministic.
+    requests.sort_by(|a, b| {
+        a.arrival_ns
+            .total_cmp(&b.arrival_ns)
+            .then(a.tenant.cmp(&b.tenant))
+            .then(a.seq.cmp(&b.seq))
+    });
+    let n = requests.len();
+
+    // ---- event-driven admission over the slot pools ----
+    enum Ev {
+        Arrive(usize),
+        SlotFree(usize),
+    }
+    let mut events: FEventQueue<Ev> = FEventQueue::new();
+    for (i, r) in requests.iter().enumerate() {
+        events.schedule(r.arrival_ns, Ev::Arrive(i));
+    }
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); ndev];
+    let mut free = vec![slots; ndev];
+    let mut outstanding = vec![0u32; ndev];
+    let mut max_outstanding = vec![0u32; ndev];
+    let mut records: Vec<Option<ReqRecord>> = vec![None; n];
+    let mut launches = 0u64;
+
+    while let Some((now, ev)) = events.pop() {
+        let dev = match ev {
+            Ev::Arrive(i) => {
+                let req = &requests[i];
+                let dev = if ndev == 1 {
+                    0
+                } else {
+                    let ServeBackend::Fleet(fleet) = &*backend else {
+                        unreachable!("multi-device backends are fleets")
+                    };
+                    let addr = workload.route_addr(req.key, ndev);
+                    fleet
+                        .router()
+                        .device_of(addr)
+                        .expect("workload routes inside the fleet HDM")
+                };
+                queues[dev].push_back(i);
+                dev
+            }
+            Ev::SlotFree(dev) => {
+                free[dev] += 1;
+                outstanding[dev] -= 1;
+                dev
+            }
+        };
+        // Admit as long as the device has free slots (FIFO).
+        while free[dev] > 0 {
+            let Some(i) = queues[dev].pop_front() else {
+                break;
+            };
+            free[dev] -= 1;
+            outstanding[dev] += 1;
+            max_outstanding[dev] = max_outstanding[dev].max(outstanding[dev]);
+            let req = requests[i];
+            let args = workload.launch_args(&req, dev);
+
+            // Launch on the simulator; fleets route the store through the
+            // switch and convert its cycle-level skew back to ns.
+            let (inst, switch_skew_ns) = match backend {
+                ServeBackend::Device(device) => (
+                    m2func_or_direct_launch(device, cfg.model.mechanism(), req.tenant, args),
+                    0.0,
+                ),
+                ServeBackend::Fleet(fleet) => {
+                    let issue = clock.cycles_from_ns(now);
+                    let addr = workload.route_addr(req.key, ndev);
+                    let (routed, inst) = if cfg.model.mechanism() == OffloadMechanism::M2Func {
+                        let (routed, inst, _) = fleet
+                            .m2func_launch_routed(issue, req.tenant, addr, args)
+                            .expect("serving launch must not be rejected");
+                        (routed, inst)
+                    } else {
+                        fleet
+                            .launch_routed(issue, addr, args)
+                            .expect("serving launch must not be rejected")
+                    };
+                    assert_eq!(routed, dev, "router must agree with admission");
+                    let arrival = fleet.offload_arrival(dev);
+                    (inst, clock.ns_from_cycles(arrival.saturating_sub(issue)))
+                }
+            };
+            let device = match backend {
+                ServeBackend::Device(d) => &mut **d,
+                ServeBackend::Fleet(f) => f.device_mut(dev),
+            };
+            let t0 = device.now();
+            let done = device.run_until_finished(inst);
+            let service_ns = clock.ns_from_cycles(done - t0);
+            launches += 1;
+            workload
+                .verify(&req, dev, device)
+                .expect("request must verify functionally");
+
+            let start = now + switch_skew_ns + pre;
+            let kernel_done = start + service_ns;
+            let observed = kernel_done + post;
+            let slot_free_at = if direct { observed } else { kernel_done };
+            events.schedule(slot_free_at, Ev::SlotFree(dev));
+            records[i] = Some(ReqRecord {
+                tenant: req.tenant,
+                seq: req.seq,
+                device: dev,
+                arrival_ns: req.arrival_ns,
+                admitted_ns: now,
+                start_ns: start,
+                service_ns,
+                observed_ns: observed,
+            });
+        }
+    }
+    let records: Vec<ReqRecord> = records
+        .into_iter()
+        .map(|r| r.expect("every request completes"))
+        .collect();
+
+    // ---- measurement windows (same definition as OffloadSim's, via the
+    // shared helper, plus the drain-tail exclusion) ----
+    let arrivals_ns: Vec<f64> = records.iter().map(|r| r.arrival_ns).collect();
+    let completions_ns: Vec<f64> = records.iter().map(|r| r.observed_ns).collect();
+    let window = crate::offload::steady_window(
+        &arrivals_ns,
+        &completions_ns,
+        cfg.warmup_frac,
+        cfg.drain_frac,
+    );
+    let measured = &records[window.measured.0..window.measured.1];
+    let span = records
+        .iter()
+        .map(|r| r.arrival_ns)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let offered_per_sec = if span > 0.0 {
+        n as f64 / (span * 1e-9)
+    } else {
+        0.0
+    };
+
+    let mut tenant_reports: Vec<TenantReport> = tenants
+        .iter()
+        .map(|t| TenantReport {
+            name: t.name.clone(),
+            completed: 0,
+            measured: 0,
+            latencies: FHistogram::new(),
+            slo_violations: 0,
+        })
+        .collect();
+    let mut combined = FHistogram::new();
+    for r in &records {
+        tenant_reports[r.tenant as usize].completed += 1;
+    }
+    for r in measured {
+        let report = &mut tenant_reports[r.tenant as usize];
+        report.measured += 1;
+        report.latencies.record(r.latency_ns());
+        if r.latency_ns() > tenants[r.tenant as usize].slo_ns {
+            report.slo_violations += 1;
+        }
+        combined.record(r.latency_ns());
+    }
+
+    ServeReport {
+        tenants: tenant_reports,
+        combined,
+        throughput: window.throughput,
+        offered_per_sec,
+        steady_window: (window.open, window.close),
+        max_outstanding,
+        launches,
+        records,
+    }
+}
+
+/// Launches on a standalone device: through the M²func wire protocol for
+/// the M²func mechanism ([`CxlM2ndpDevice::m2func_launch`] — the same
+/// implementation the fleet path uses), or directly at the controller for
+/// the CXL.io mechanisms (their command path is modelled by the pre/post
+/// phases, not by M²func packets).
+fn m2func_or_direct_launch(
+    device: &mut CxlM2ndpDevice,
+    mechanism: OffloadMechanism,
+    asid: u16,
+    args: LaunchArgs,
+) -> KernelInstanceId {
+    if mechanism == OffloadMechanism::M2Func {
+        device
+            .m2func_launch(asid, args)
+            .expect("serving launch must not be rejected")
+    } else {
+        device
+            .launch(args)
+            .expect("serving launch must not be rejected")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The KVStore serving workload (Figs. 1b/10b/11a/11c)
+// ---------------------------------------------------------------------------
+
+/// A KVStore GET workload sharded across the backend's devices: the global
+/// key space is striped at item granularity (`key % devices` owns the key),
+/// each device holds its shard as a real hash table in its own memory, and
+/// every request is one fine-grained GET kernel.
+#[derive(Debug)]
+pub struct KvServeWorkload {
+    shards: Vec<kvstore::KvData>,
+    kernels: Vec<KernelId>,
+    shard_bases: Vec<u64>,
+    total_items: u64,
+    zipf: Zipf,
+}
+
+/// Scale of one serving shard (items per device; buckets = items / 2).
+pub const KV_ITEMS_PER_DEVICE: u64 = 16 << 10;
+
+impl KvServeWorkload {
+    /// Builds the sharded store inside `backend`'s devices (one
+    /// [`kvstore::generate`] per device, `items_per_device` each) and
+    /// registers the GET kernel everywhere. `zipf_theta` skews the key
+    /// popularity (YCSB default 0.99).
+    pub fn build(backend: &mut ServeBackend, items_per_device: u64, zipf_theta: f64) -> Self {
+        let ndev = backend.devices();
+        let mut shards = Vec::with_capacity(ndev);
+        let mut kernels = Vec::with_capacity(ndev);
+        let mut shard_bases = Vec::with_capacity(ndev);
+        for dev in 0..ndev {
+            let cfg = kvstore::KvConfig {
+                items: items_per_device,
+                buckets: (items_per_device / 2).max(1),
+                get_ratio: 1.0,
+                requests: 0,
+                zipf_theta: 0.99,
+                seed: 0xCB5A ^ dev as u64,
+            };
+            let (data, kid, base) = match backend {
+                ServeBackend::Device(device) => {
+                    let data = kvstore::generate(cfg, device.memory_mut());
+                    let kid = device.register_kernel(kvstore::kernel());
+                    (data, kid, 0)
+                }
+                ServeBackend::Fleet(fleet) => {
+                    let data = kvstore::generate(cfg, fleet.device_mut(dev).memory_mut());
+                    let kid = fleet.device_mut(dev).register_kernel(kvstore::kernel());
+                    let base = fleet.shard_base(dev);
+                    (data, kid, base)
+                }
+            };
+            shards.push(data);
+            kernels.push(kid);
+            shard_bases.push(base);
+        }
+        let total_items = items_per_device * ndev as u64;
+        Self {
+            shards,
+            kernels,
+            shard_bases,
+            total_items,
+            zipf: Zipf::new(total_items, zipf_theta),
+        }
+    }
+
+    /// Total items across all shards.
+    pub fn total_items(&self) -> u64 {
+        self.total_items
+    }
+
+    fn owner(&self, key: u64) -> usize {
+        (key % self.shards.len() as u64) as usize
+    }
+
+    fn local_request(&self, key: u64) -> kvstore::KvRequest {
+        kvstore::KvRequest {
+            item: key / self.shards.len() as u64,
+            get: true,
+        }
+    }
+
+    fn slot(req: &Request) -> u32 {
+        (req.seq % 64) as u32
+    }
+}
+
+impl ServeWorkload for KvServeWorkload {
+    fn sample_key(&mut self, _tenant: u16, rng: &mut m2ndp_sim::rng::StdRng) -> u64 {
+        self.zipf.sample(rng)
+    }
+
+    fn route_addr(&self, key: u64, _devices: usize) -> u64 {
+        self.shard_bases[self.owner(key)]
+    }
+
+    fn launch_args(&mut self, req: &Request, dev: usize) -> LaunchArgs {
+        debug_assert_eq!(self.owner(req.key), dev);
+        kvstore::launch(
+            &self.shards[dev],
+            self.kernels[dev],
+            self.local_request(req.key),
+            Self::slot(req),
+            0,
+        )
+    }
+
+    fn verify(&self, req: &Request, dev: usize, device: &CxlM2ndpDevice) -> Result<(), String> {
+        kvstore::verify_get(
+            &self.shards[dev],
+            device.memory(),
+            self.local_request(req.key),
+            Self::slot(req),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2ndp_core::fleet::FleetConfig;
+    use m2ndp_core::M2ndpConfig;
+    use m2ndp_cxl::SwitchConfig;
+
+    fn small_cfg() -> M2ndpConfig {
+        let mut cfg = M2ndpConfig::default_device();
+        cfg.engine.units = 2;
+        cfg
+    }
+
+    fn fleet_backend(devices: usize) -> ServeBackend {
+        ServeBackend::Fleet(Box::new(Fleet::new(FleetConfig {
+            devices,
+            device: small_cfg(),
+            switch: SwitchConfig::default(),
+            hdm_bytes_per_device: 64 << 20,
+        })))
+    }
+
+    fn tenants(requests: usize, rate: f64) -> Vec<TenantSpec> {
+        vec![
+            TenantSpec {
+                name: "poisson".into(),
+                arrival: Arrival::Poisson {
+                    rate_per_sec: rate * 0.7,
+                },
+                requests,
+                slo_ns: 10_000.0,
+                seed: 11,
+            },
+            TenantSpec {
+                name: "trace".into(),
+                arrival: Arrival::Trace {
+                    gaps_ns: vec![
+                        1e9 / (rate * 0.3),
+                        0.5e9 / (rate * 0.3),
+                        1.5e9 / (rate * 0.3),
+                    ],
+                },
+                requests: requests / 2,
+                slo_ns: 10_000.0,
+                seed: 13,
+            },
+        ]
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let mut backend = fleet_backend(2);
+        let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.9);
+        let cfg = ServeConfig::with_defaults(OffloadMechanism::M2Func);
+        let report = run(&mut backend, &mut wl, &cfg, &tenants(120, 2e5));
+        assert_eq!(report.launches, 120 + 60);
+        assert_eq!(report.records.len(), 180);
+        assert_eq!(report.tenants[0].completed, 120);
+        assert_eq!(report.tenants[1].completed, 60);
+        assert!(report.throughput > 0.0);
+        // Every launch store crossed the switch.
+        assert_eq!(
+            report.launches,
+            backend.fleet().unwrap().switch().host_transfers.get()
+        );
+    }
+
+    #[test]
+    fn latencies_are_at_least_the_mechanism_overhead() {
+        let mut backend = fleet_backend(2);
+        let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.9);
+        let cfg = ServeConfig::with_defaults(OffloadMechanism::CxlIoRingBuffer);
+        let report = run(&mut backend, &mut wl, &cfg, &tenants(80, 2e5));
+        let floor = cfg.model.overhead_ns();
+        for r in &report.records {
+            assert!(
+                r.latency_ns() >= floor,
+                "latency {} below overhead {floor}",
+                r.latency_ns()
+            );
+        }
+    }
+
+    #[test]
+    fn direct_mmio_keeps_one_outstanding_kernel() {
+        let mut backend = fleet_backend(2);
+        let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.9);
+        let cfg = ServeConfig::with_defaults(OffloadMechanism::CxlIoDirect);
+        // Saturating load: queues build, but the register constraint holds.
+        let report = run(&mut backend, &mut wl, &cfg, &tenants(150, 5e6));
+        for (d, &m) in report.max_outstanding.iter().enumerate() {
+            assert!(m <= 1, "device {d} had {m} outstanding under direct MMIO");
+        }
+    }
+
+    #[test]
+    fn fifo_admission_preserves_per_tenant_order_per_device() {
+        let mut backend = fleet_backend(4);
+        let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.9);
+        let cfg = ServeConfig::with_defaults(OffloadMechanism::M2Func);
+        let report = run(&mut backend, &mut wl, &cfg, &tenants(200, 3e6));
+        let mut last: std::collections::HashMap<(u16, usize), (u64, f64)> =
+            std::collections::HashMap::new();
+        // records are in global arrival order; admissions per (tenant,
+        // device) must be monotone in both seq and time.
+        for r in &report.records {
+            if let Some(&(seq, adm)) = last.get(&(r.tenant, r.device)) {
+                assert!(r.seq > seq, "tenant {} reordered on {}", r.tenant, r.device);
+                assert!(r.admitted_ns >= adm, "admission time went backwards");
+            }
+            last.insert((r.tenant, r.device), (r.seq, r.admitted_ns));
+        }
+    }
+
+    #[test]
+    fn m2func_beats_ring_buffer_p95_at_light_load() {
+        let p95 = |mech: OffloadMechanism| {
+            let mut backend = fleet_backend(1);
+            let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.9);
+            let cfg = ServeConfig::with_defaults(mech);
+            let mut report = run(&mut backend, &mut wl, &cfg, &tenants(150, 1e5));
+            report.p95_ns()
+        };
+        let m2 = p95(OffloadMechanism::M2Func);
+        let rb = p95(OffloadMechanism::CxlIoRingBuffer);
+        assert!(rb > 2.0 * m2, "RB P95 {rb} should dwarf M2func P95 {m2}");
+    }
+}

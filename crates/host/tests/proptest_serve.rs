@@ -1,0 +1,229 @@
+//! Property tests for the fixed open-loop `OffloadSim` and the
+//! event-driven serving runtime: latencies are never below the mechanism
+//! overhead, FIFO admission preserves per-tenant order on every device,
+//! direct MMIO never exceeds one outstanding kernel, and a standalone
+//! device matches a 1-device fleet up to the switch hop.
+//!
+//! The serving cases drive real device simulators, so they use small
+//! request budgets and few proptest cases; the closed-form `OffloadSim`
+//! cases are cheap and run at the usual counts.
+
+use std::collections::HashMap;
+
+use m2ndp_core::fleet::{Fleet, FleetConfig};
+use m2ndp_core::{CxlM2ndpDevice, M2ndpConfig};
+use m2ndp_cxl::SwitchConfig;
+use m2ndp_host::offload::{OffloadMechanism, OffloadModel, OffloadSim};
+use m2ndp_host::serve::{self, Arrival, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
+use proptest::prelude::*;
+
+/// Maps a drawn index onto a mechanism (the vendored proptest subset has
+/// no `prop_oneof`).
+fn mechanism(idx: u8) -> OffloadMechanism {
+    match idx % 3 {
+        0 => OffloadMechanism::M2Func,
+        1 => OffloadMechanism::CxlIoRingBuffer,
+        _ => OffloadMechanism::CxlIoDirect,
+    }
+}
+
+fn small_cfg() -> M2ndpConfig {
+    let mut cfg = M2ndpConfig::default_device();
+    cfg.engine.units = 2;
+    cfg
+}
+
+fn backend(devices: usize) -> ServeBackend {
+    if devices == 1 {
+        ServeBackend::Device(Box::new(CxlM2ndpDevice::new(small_cfg())))
+    } else {
+        ServeBackend::Fleet(Box::new(Fleet::new(FleetConfig {
+            devices,
+            device: small_cfg(),
+            switch: SwitchConfig::default(),
+            hdm_bytes_per_device: 64 << 20,
+        })))
+    }
+}
+
+fn tenants(requests: usize, rate: f64, seed: u64) -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            name: "poisson".into(),
+            arrival: Arrival::Poisson {
+                rate_per_sec: rate * 0.6,
+            },
+            requests,
+            slo_ns: 10_000.0,
+            seed,
+        },
+        TenantSpec {
+            name: "trace".into(),
+            arrival: Arrival::Trace {
+                gaps_ns: vec![0.5e9 / rate, 2.0e9 / rate],
+            },
+            requests: requests / 2,
+            slo_ns: 10_000.0,
+            seed: seed ^ 0xF00D,
+        },
+    ]
+}
+
+fn serve_all(
+    devices: usize,
+    mech: OffloadMechanism,
+    requests: usize,
+    rate: f64,
+    seed: u64,
+) -> serve::ServeReport {
+    let mut be = backend(devices);
+    let mut wl = KvServeWorkload::build(&mut be, 512, 0.9);
+    let cfg = ServeConfig::with_defaults(mech);
+    serve::run(&mut be, &mut wl, &cfg, &tenants(requests, rate, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Closed-form sim: every latency is at least the mechanism overhead
+    /// plus the smallest service time, and all are finite.
+    #[test]
+    fn offload_latencies_never_below_overhead(
+        mech_idx in 0u8..3,
+        rate in 1e4f64..1e9,
+        n in 20usize..400,
+        seed in any::<u64>(),
+        service in proptest::collection::vec(50.0f64..5_000.0, 1..4),
+    ) {
+        let model = OffloadModel::with_defaults(mechanism(mech_idx));
+        let overhead = model.overhead_ns();
+        let min_service = service.iter().copied().fold(f64::INFINITY, f64::min);
+        let res = OffloadSim::new(model, 48).run(n, rate, &service, seed);
+        prop_assert_eq!(res.latencies.count(), n);
+        for &l in res.latencies.samples() {
+            prop_assert!(l.is_finite());
+            prop_assert!(
+                l >= overhead + min_service - 1e-9,
+                "latency {l} below floor {}",
+                overhead + min_service
+            );
+        }
+    }
+
+    /// The steady-window throughput never exceeds the slot pool's service
+    /// capacity (with a small windowing tolerance) and is positive.
+    #[test]
+    fn offload_throughput_is_bounded_by_capacity(
+        mech_idx in 0u8..3,
+        rate in 1e5f64..1e9,
+        seed in any::<u64>(),
+        service in 100.0f64..2_000.0,
+    ) {
+        let mech = mechanism(mech_idx);
+        let model = OffloadModel::with_defaults(mech);
+        let slots = f64::from(model.max_concurrent());
+        // A slot is busy for pre+service (M2func/RB) or the full
+        // round trip (direct MMIO).
+        let occupancy = if mech == OffloadMechanism::CxlIoDirect {
+            model.overhead_ns() + service
+        } else {
+            model.pre_ns() + service
+        };
+        let capacity = slots / (occupancy * 1e-9);
+        let res = OffloadSim::new(model, 48).run(600, rate, &[service], seed);
+        prop_assert!(res.throughput > 0.0);
+        prop_assert!(
+            res.throughput <= capacity * 1.05,
+            "throughput {:.3e} exceeds capacity {:.3e}",
+            res.throughput,
+            capacity
+        );
+    }
+}
+
+proptest! {
+    // Serving cases simulate real kernels: keep the budgets small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Serving latencies are never below the mechanism overhead, every
+    /// request completes, and per-(tenant, device) admission stays FIFO.
+    #[test]
+    fn serving_latency_floor_and_fifo_order(
+        mech_idx in 0u8..3,
+        devices in 1usize..=2,
+        rate in 1e5f64..1e7,
+        seed in any::<u64>(),
+    ) {
+        let mech = mechanism(mech_idx);
+        let report = serve_all(devices, mech, 40, rate, seed);
+        prop_assert_eq!(report.records.len(), 60);
+        let floor = OffloadModel::with_defaults(mech).overhead_ns();
+        let mut last: HashMap<(u16, usize), (u64, f64)> = HashMap::new();
+        for r in &report.records {
+            prop_assert!(
+                r.latency_ns() >= floor,
+                "latency {} below overhead {floor}",
+                r.latency_ns()
+            );
+            prop_assert!(r.admitted_ns >= r.arrival_ns);
+            if let Some(&(seq, adm)) = last.get(&(r.tenant, r.device)) {
+                prop_assert!(r.seq > seq, "per-tenant order violated");
+                prop_assert!(r.admitted_ns >= adm, "admission time went backwards");
+            }
+            last.insert((r.tenant, r.device), (r.seq, r.admitted_ns));
+        }
+    }
+
+    /// Direct MMIO never has more than one kernel outstanding per device,
+    /// even under saturating load.
+    #[test]
+    fn serving_direct_mmio_single_outstanding(
+        devices in 1usize..=2,
+        rate in 1e6f64..1e8,
+        seed in any::<u64>(),
+    ) {
+        let report = serve_all(devices, OffloadMechanism::CxlIoDirect, 40, rate, seed);
+        for (d, &m) in report.max_outstanding.iter().enumerate() {
+            prop_assert!(m <= 1, "device {d} had {m} kernels outstanding");
+        }
+    }
+
+    /// A standalone device and a 1-device fleet serve the identical
+    /// request stream with identical kernel service times; the only
+    /// divergence allowed is the switch's per-launch delivery skew.
+    #[test]
+    fn serving_single_device_matches_one_device_fleet(
+        rate in 1e5f64..2e6,
+        seed in any::<u64>(),
+    ) {
+        let single = serve_all(1, OffloadMechanism::M2Func, 40, rate, seed);
+
+        let mut be = ServeBackend::Fleet(Box::new(Fleet::new(FleetConfig {
+            devices: 1,
+            device: small_cfg(),
+            switch: SwitchConfig::default(),
+            hdm_bytes_per_device: 64 << 20,
+        })));
+        let mut wl = KvServeWorkload::build(&mut be, 512, 0.9);
+        let cfg = ServeConfig::with_defaults(OffloadMechanism::M2Func);
+        let fleet1 = serve::run(&mut be, &mut wl, &cfg, &tenants(40, rate, seed));
+
+        prop_assert_eq!(single.records.len(), fleet1.records.len());
+        for (s, f) in single.records.iter().zip(&fleet1.records) {
+            prop_assert_eq!(s.tenant, f.tenant);
+            prop_assert_eq!(s.seq, f.seq);
+            prop_assert!(
+                (s.service_ns - f.service_ns).abs() < 1e-9,
+                "service times must be identical: {} vs {}",
+                s.service_ns,
+                f.service_ns
+            );
+            let skew = f.latency_ns() - s.latency_ns();
+            prop_assert!(
+                (0.0..=1_000.0).contains(&skew),
+                "fleet latency may exceed the standalone path only by the \
+                 switch hop: skew {skew} ns"
+            );
+        }
+    }
+}

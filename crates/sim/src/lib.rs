@@ -13,8 +13,9 @@
 //! * [`stats`] — counters and sample histograms (P50/P95/P99 queries),
 //! * [`rng`] — seeded random sources plus the Zipfian and exponential
 //!   samplers used by the workload generators,
-//! * [`EventQueue`] — a small discrete-event heap used by open-loop
-//!   request-arrival simulations (e.g. the KVStore tail-latency experiments).
+//! * [`EventQueue`] / [`FEventQueue`] — small discrete-event heaps (integer
+//!   cycles / `f64` nanoseconds) used by open-loop request-arrival
+//!   simulations (e.g. the KVStore tail-latency and serving experiments).
 //!
 //! Everything here is deterministic: no wall-clock time, no global state, and
 //! all randomness flows from caller-provided seeds, so simulations are
@@ -46,8 +47,8 @@ pub mod stats;
 pub mod time;
 
 pub use bandwidth::BandwidthGate;
-pub use event::EventQueue;
+pub use event::{EventQueue, FEventQueue};
 pub use pipe::DelayPipe;
 pub use queue::BoundedQueue;
-pub use stats::{Counter, Histogram, RunningStat, Snapshot, TrafficStats};
+pub use stats::{Counter, FHistogram, Histogram, RunningStat, Snapshot, TrafficStats};
 pub use time::{Cycle, Frequency};

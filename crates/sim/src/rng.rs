@@ -7,8 +7,9 @@
 //! distributions are implemented here so the workspace carries no further
 //! dependencies.
 
-use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+pub use rand::rngs::StdRng;
 
 /// Creates the standard seeded RNG used across the workspace.
 ///

@@ -232,6 +232,123 @@ impl Histogram {
     }
 }
 
+/// A sample-retaining histogram of `f64` observations (nanosecond latencies)
+/// with exact percentile queries.
+///
+/// The open-loop serving simulations keep their event clocks in `f64`
+/// nanoseconds end to end; quantizing latencies to integer nanoseconds on
+/// the way into a [`Histogram`] loses the sub-ns queueing components that
+/// accumulate at high arrival rates. This variant stores the raw `f64`
+/// samples, so `observed - arrival` is recorded exactly.
+///
+/// # Example
+///
+/// ```
+/// use m2ndp_sim::FHistogram;
+/// let mut h = FHistogram::new();
+/// for v in [1.5, 0.25, 3.75] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.percentile(0.5), 1.5);
+/// assert_eq!(h.max(), 3.75);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FHistogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl FHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    /// Panics on non-finite observations (a NaN would poison every
+    /// percentile query silently).
+    pub fn record(&mut self, v: f64) {
+        assert!(v.is_finite(), "FHistogram observation must be finite: {v}");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The exact `p`-quantile (0.0 ..= 1.0) using the nearest-rank method,
+    /// or 0.0 when empty.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        self.samples[rank - 1]
+    }
+
+    /// The exact quantiles for each `p` in `ps` (one sort for the batch).
+    ///
+    /// # Panics
+    /// Panics if any `p` is outside `[0, 1]`.
+    pub fn quantiles(&mut self, ps: &[f64]) -> Vec<f64> {
+        ps.iter().map(|&p| self.percentile(p)).collect()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest observation, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Smallest observation, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// The raw samples, in recording order if no percentile has been
+    /// queried yet (queries sort in place).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
 /// Traffic and utilization statistics common to the memory-system models.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficStats {
@@ -361,6 +478,55 @@ mod tests {
         assert_eq!(h.percentile(1.0), 5);
         h.record(1);
         assert_eq!(h.percentile(0.5), 1);
+    }
+
+    #[test]
+    fn fhistogram_keeps_sub_ns_precision() {
+        let mut h = FHistogram::new();
+        for v in [100.25, 100.75, 101.5] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 100.25);
+        assert_eq!(h.percentile(1.0), 101.5);
+        assert!((h.mean() - 100.833_333_333_333_33).abs() < 1e-9);
+        assert_eq!(h.min(), 100.25);
+    }
+
+    #[test]
+    fn fhistogram_extremes_handle_negative_samples() {
+        let mut h = FHistogram::new();
+        h.record(-5.0);
+        h.record(-2.5);
+        assert_eq!(h.max(), -2.5, "max must be an observed value");
+        assert_eq!(h.min(), -5.0);
+    }
+
+    #[test]
+    fn fhistogram_empty_is_zero() {
+        let mut h = FHistogram::new();
+        assert_eq!(h.percentile(0.95), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn fhistogram_rejects_nan() {
+        FHistogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn fhistogram_quantiles_match_u64_histogram_on_integers() {
+        let mut h = Histogram::new();
+        let mut f = FHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+            f.record(v as f64);
+        }
+        for p in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(p) as f64, f.percentile(p), "p={p}");
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             7,
         );
         println!(
-            "  {label} P95 = {:>8} ns   throughput = {:.2e}/s",
+            "  {label} P95 = {:>8.0} ns   throughput = {:.2e}/s",
             r.latencies.percentile(0.95),
             r.throughput
         );

@@ -1,0 +1,80 @@
+//! Multi-tenant serving over a simulated CXL-M²NDP fleet: two open-loop
+//! tenants (an interactive Poisson stream and a bursty trace replay) issue
+//! KVStore GETs against four devices behind a CXL switch. Every request is
+//! an actual M²func kernel launch on a cycle-level device simulator,
+//! routed to the owning shard through the HDM router and charged on the
+//! switch ports (Fig. 11c; the event-driven runtime is
+//! `m2ndp::host::serve`).
+//!
+//! ```text
+//! cargo run --release --example serving_tail_latency
+//! ```
+
+use m2ndp::core::fleet::{Fleet, FleetConfig};
+use m2ndp::core::M2ndpConfig;
+use m2ndp::cxl::SwitchConfig;
+use m2ndp::host::offload::OffloadMechanism;
+use m2ndp::host::serve::{self, Arrival, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
+
+fn tenants(rate_per_sec: f64) -> Vec<TenantSpec> {
+    let burst_gap = 1e9 / (rate_per_sec * 0.3);
+    vec![
+        TenantSpec {
+            name: "interactive".into(),
+            arrival: Arrival::Poisson {
+                rate_per_sec: rate_per_sec * 0.7,
+            },
+            requests: 1200,
+            slo_ns: 5_000.0,
+            seed: 0xA11CE,
+        },
+        TenantSpec {
+            name: "batch-replay".into(),
+            arrival: Arrival::Trace {
+                gaps_ns: vec![0.4 * burst_gap, 0.8 * burst_gap, 1.8 * burst_gap],
+            },
+            requests: 600,
+            slo_ns: 5_000.0,
+            seed: 0xB0B,
+        },
+    ]
+}
+
+fn main() {
+    println!("serving 1800 requests per point on a 4-device fleet (2 tenants):\n");
+    println!(
+        "{:<12} {:>12} {:>16} {:>16} {:>14} {:>10}",
+        "mechanism", "offered/s", "interactive P95", "batch P95", "throughput/s", "SLO misses"
+    );
+    for (label, mechanism) in [
+        ("M2func", OffloadMechanism::M2Func),
+        ("CXL.io_DR", OffloadMechanism::CxlIoDirect),
+        ("CXL.io_RB", OffloadMechanism::CxlIoRingBuffer),
+    ] {
+        for rate in [2e5, 2e7] {
+            let mut cfg = M2ndpConfig::default_device();
+            cfg.engine.units = 2;
+            let mut backend = ServeBackend::Fleet(Box::new(Fleet::new(FleetConfig {
+                devices: 4,
+                device: cfg,
+                switch: SwitchConfig::default(),
+                hdm_bytes_per_device: 1 << 30,
+            })));
+            let mut wl = KvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
+            let serve_cfg = ServeConfig::with_defaults(mechanism);
+            let mut report = serve::run(&mut backend, &mut wl, &serve_cfg, &tenants(rate));
+            let slo: u64 = report.tenants.iter().map(|t| t.slo_violations).sum();
+            println!(
+                "{label:<12} {rate:>12.0e} {:>13.0} ns {:>13.0} ns {:>14.2e} {slo:>10}",
+                report.tenants[0].latencies.percentile(0.95),
+                report.tenants[1].latencies.percentile(0.95),
+                report.throughput,
+            );
+        }
+    }
+    println!(
+        "\nM2func keeps its two CXL.mem one-way trips out of the tail and its 48 \
+         concurrent kernels\nahead of the offered load; direct MMIO serializes on its \
+         single device register and\nblows the 5 us SLO once saturated (Figs. 5, 10b, 11a)."
+    );
+}

@@ -1,0 +1,143 @@
+//! Integration tests for the event-driven multi-tenant serving runtime
+//! (`m2ndp::host::serve`): requests really reach the devices through the
+//! M²func wire protocol and the switch, tenants are isolated in the
+//! reports, and the tail-latency ordering of the offload mechanisms
+//! matches the paper (M²func < direct MMIO < ring buffer at light load).
+//!
+//! Request budgets are kept small so the suite stays fast in debug builds;
+//! the full-size serving runs are exercised by the `figures` sweep cells
+//! (`fig11c`) at release speed in CI.
+
+use m2ndp::core::fleet::{Fleet, FleetConfig};
+use m2ndp::core::{M2Func, M2ndpConfig};
+use m2ndp::cxl::SwitchConfig;
+use m2ndp::host::offload::OffloadMechanism;
+use m2ndp::host::serve::{self, Arrival, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
+
+fn device_cfg() -> M2ndpConfig {
+    let mut cfg = M2ndpConfig::default_device();
+    cfg.engine.units = 2;
+    cfg
+}
+
+fn fleet_backend(devices: usize) -> ServeBackend {
+    ServeBackend::Fleet(Box::new(Fleet::new(FleetConfig {
+        devices,
+        device: device_cfg(),
+        switch: SwitchConfig::default(),
+        hdm_bytes_per_device: 64 << 20,
+    })))
+}
+
+fn tenants(requests: usize, rate: f64) -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            name: "interactive".into(),
+            arrival: Arrival::Poisson {
+                rate_per_sec: rate * 0.7,
+            },
+            requests,
+            slo_ns: 5_000.0,
+            seed: 0xA11CE,
+        },
+        TenantSpec {
+            name: "batch".into(),
+            arrival: Arrival::Trace {
+                gaps_ns: vec![0.5e9 / (rate * 0.3), 1.5e9 / (rate * 0.3)],
+            },
+            requests: requests / 2,
+            slo_ns: 5_000.0,
+            seed: 0xB0B,
+        },
+    ]
+}
+
+#[test]
+fn launches_cross_the_switch_and_use_the_m2func_protocol() {
+    let mut backend = fleet_backend(4);
+    let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.99);
+    let cfg = ServeConfig::with_defaults(OffloadMechanism::M2Func);
+    let report = serve::run(&mut backend, &mut wl, &cfg, &tenants(120, 1e6));
+
+    // Every request became one launch store through the switch.
+    assert_eq!(report.launches, 180);
+    let fleet = backend.fleet().expect("fleet backend");
+    assert_eq!(fleet.switch().host_transfers.get(), 180);
+
+    // The requests were spread across the shards, and each serving device
+    // holds a protocol-visible M²func return value for each tenant that
+    // launched on it (the instance id a host CXL.mem read would fetch).
+    let mut served_devices = 0;
+    for d in 0..fleet.len() {
+        let launched: Vec<u16> = (0..2u16)
+            .filter(|&asid| {
+                fleet
+                    .device(d)
+                    .m2func_return(asid, M2Func::LaunchKernel.offset())
+                    .is_some()
+            })
+            .collect();
+        if !launched.is_empty() {
+            served_devices += 1;
+        }
+    }
+    assert!(
+        served_devices >= 3,
+        "Zipf-striped keys must reach most of the 4 shards, got {served_devices}"
+    );
+}
+
+#[test]
+fn tenant_reports_are_isolated_and_complete() {
+    let mut backend = fleet_backend(2);
+    let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.99);
+    let cfg = ServeConfig::with_defaults(OffloadMechanism::M2Func);
+    let report = serve::run(&mut backend, &mut wl, &cfg, &tenants(100, 5e5));
+    assert_eq!(report.tenants.len(), 2);
+    assert_eq!(report.tenants[0].name, "interactive");
+    assert_eq!(report.tenants[0].completed, 100);
+    assert_eq!(report.tenants[1].completed, 50);
+    let measured: u64 = report.tenants.iter().map(|t| t.measured).sum();
+    assert_eq!(measured as usize, report.combined.count());
+    // Warm-up + drain must actually trim the window.
+    assert!(measured < 150);
+    assert!(report.throughput > 0.0);
+    assert!(report.steady_window.1 > report.steady_window.0);
+}
+
+#[test]
+fn mechanism_tail_ordering_matches_the_paper_at_light_load() {
+    let p95 = |mech: OffloadMechanism| {
+        let mut backend = fleet_backend(1);
+        let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.99);
+        let cfg = ServeConfig::with_defaults(mech);
+        let mut report = serve::run(&mut backend, &mut wl, &cfg, &tenants(100, 1e5));
+        report.p95_ns()
+    };
+    let m2 = p95(OffloadMechanism::M2Func);
+    let dr = p95(OffloadMechanism::CxlIoDirect);
+    let rb = p95(OffloadMechanism::CxlIoRingBuffer);
+    assert!(m2 < dr, "M2func P95 {m2} must beat direct MMIO {dr}");
+    assert!(
+        dr < rb,
+        "direct MMIO P95 {dr} must beat the ring buffer {rb}"
+    );
+}
+
+#[test]
+fn slo_violations_appear_under_saturation_for_direct_mmio() {
+    let run_at = |rate: f64| {
+        let mut backend = fleet_backend(1);
+        let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.99);
+        let cfg = ServeConfig::with_defaults(OffloadMechanism::CxlIoDirect);
+        let report = serve::run(&mut backend, &mut wl, &cfg, &tenants(100, rate));
+        report.tenants.iter().map(|t| t.slo_violations).sum::<u64>()
+    };
+    let light = run_at(1e5);
+    let saturated = run_at(2e7);
+    assert_eq!(light, 0, "no 5 us violations at light load");
+    assert!(
+        saturated > 50,
+        "direct MMIO must blow the SLO at saturation, got {saturated}"
+    );
+}
