@@ -6,13 +6,23 @@
 //!
 //!   --only fig10a,fig10c   run a subset of figures (default: all)
 //!   --fast                 the documented fast subset of each figure's grid
-//!   --jobs N               worker threads (default: available cores)
+//!   --jobs N               total worker budget (default: $M2NDP_JOBS, else
+//!                          available cores)
+//!   --fleet-jobs N         workers advancing the devices inside each
+//!                          fleet/serving cell (default: $M2NDP_FLEET_JOBS,
+//!                          else 1 = fleet parallelism off); the remaining
+//!                          budget (--jobs / --fleet-jobs, at least 1) runs
+//!                          whole cells concurrently. Not clamped to --jobs:
+//!                          an oversized fleet share keeps cells serial but
+//!                          still fans each fleet out
 //!   --check                gate the emitted ratios on the paper-anchored
 //!                          tolerance bands; nonzero exit on drift
 //!   --out DIR              output directory (default: target/figures)
 //!   --timing FILE          also write a wall-clock timing JSON (per-cell
-//!                          and per-figure wall seconds — the perf-trajectory
-//!                          artifact; wall times never enter the result JSON)
+//!                          and per-figure wall seconds, the effective
+//!                          cell/fleet worker counts, and each cell's worker
+//!                          id — the perf-trajectory artifact; wall times
+//!                          never enter the result JSON)
 //!   --snapshot FILE        staleness gate: every cell computed by this run
 //!                          must exist in FILE (a committed consolidated
 //!                          BENCH_RESULTS.json) with byte-identical values;
@@ -29,14 +39,16 @@
 
 use std::process::ExitCode;
 
+use m2ndp::sim::par;
 use m2ndp_bench::golden::{self, Verdict};
 use m2ndp_bench::json::Json;
-use m2ndp_bench::sweep::{self, CellOut, FigId, Metric};
+use m2ndp_bench::sweep::{self, CellOut, CellRun, FigId, JobBudget, Metric};
 
 struct Options {
     only: Vec<FigId>,
     fast: bool,
     jobs: usize,
+    fleet_jobs: usize,
     check: bool,
     out: String,
     timing: Option<String>,
@@ -47,8 +59,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--only fig10a,fig10c,...] [--fast] [--jobs N] [--check] [--out DIR] \
-         [--timing FILE] [--snapshot FILE] [--list] [--quiet]\nfigures: {}",
+        "usage: figures [--only fig10a,fig10c,...] [--fast] [--jobs N] [--fleet-jobs N] \
+         [--check] [--out DIR] [--timing FILE] [--snapshot FILE] [--list] [--quiet]\nfigures: {}",
         FigId::all().map(FigId::id).join(", ")
     );
     std::process::exit(2);
@@ -58,7 +70,10 @@ fn parse_args() -> Options {
     let mut opts = Options {
         only: FigId::all().to_vec(),
         fast: false,
-        jobs: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        jobs: par::env_jobs("M2NDP_JOBS").unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }),
+        fleet_jobs: par::env_jobs("M2NDP_FLEET_JOBS").unwrap_or(1),
         check: false,
         out: "target/figures".to_string(),
         timing: None,
@@ -93,6 +108,17 @@ fn parse_args() -> Options {
                 });
                 if opts.jobs == 0 {
                     eprintln!("--jobs must be >= 1");
+                    usage();
+                }
+            }
+            "--fleet-jobs" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.fleet_jobs = n.parse().unwrap_or_else(|_| {
+                    eprintln!("--fleet-jobs expects a positive integer, got `{n}`");
+                    usage()
+                });
+                if opts.fleet_jobs == 0 {
+                    eprintln!("--fleet-jobs must be >= 1");
                     usage();
                 }
             }
@@ -134,33 +160,47 @@ fn list_figures(opts: &Options) {
 }
 
 /// The `--timing` perf-trajectory artifact: per-cell and per-figure wall
-/// seconds plus the sweep's shape, so CI can chart sweep cost over time.
-/// Wall clock is inherently non-deterministic and therefore lives in its
-/// own file, never in `BENCH_RESULTS.json`.
-fn timing_json(opts: &Options, cells: &[sweep::CellSpec], walls: &[f64], wall_total: f64) -> Json {
+/// seconds, the nested-parallelism budget actually in effect (requested
+/// `--jobs`, effective cell-level and fleet-level worker counts), and the
+/// pool worker that ran each cell — enough to audit any speedup claim from
+/// the artifact alone. Wall clock and worker assignment are inherently
+/// non-deterministic and therefore live in their own file, never in
+/// `BENCH_RESULTS.json`.
+fn timing_json(
+    opts: &Options,
+    budget: JobBudget,
+    cells: &[sweep::CellSpec],
+    runs: &[CellRun],
+    wall_total: f64,
+) -> Json {
     let mut per_fig: Vec<(FigId, f64, u64)> = Vec::new();
-    for (cell, &w) in cells.iter().zip(walls) {
+    for (cell, run) in cells.iter().zip(runs) {
         match per_fig.iter_mut().find(|(f, _, _)| *f == cell.fig) {
             Some((_, acc, n)) => {
-                *acc += w;
+                *acc += run.wall_s;
                 *n += 1;
             }
-            None => per_fig.push((cell.fig, w, 1)),
+            None => per_fig.push((cell.fig, run.wall_s, 1)),
         }
     }
     Json::Obj(vec![
-        ("schema_version".to_string(), Json::U64(1)),
+        ("schema_version".to_string(), Json::U64(2)),
         (
             "generator".to_string(),
             Json::Str("m2ndp_bench figures --timing".to_string()),
         ),
         ("fast".to_string(), Json::Bool(opts.fast)),
         ("jobs".to_string(), Json::U64(opts.jobs as u64)),
+        ("cell_jobs".to_string(), Json::U64(budget.cell_jobs as u64)),
+        (
+            "fleet_jobs".to_string(),
+            Json::U64(budget.fleet_jobs as u64),
+        ),
         ("cells".to_string(), Json::U64(cells.len() as u64)),
         ("wall_seconds".to_string(), Json::F64(wall_total)),
         (
             "cell_wall_seconds_sum".to_string(),
-            Json::F64(walls.iter().sum()),
+            Json::F64(runs.iter().map(|r| r.wall_s).sum()),
         ),
         (
             "figures".to_string(),
@@ -180,12 +220,20 @@ fn timing_json(opts: &Options, cells: &[sweep::CellSpec], walls: &[f64], wall_to
             ),
         ),
         (
-            "cell_wall_seconds".to_string(),
+            "cell_timing".to_string(),
             Json::Obj(
                 cells
                     .iter()
-                    .zip(walls)
-                    .map(|(c, &w)| (format!("{}/{}", c.fig.id(), c.key), Json::F64(w)))
+                    .zip(runs)
+                    .map(|(c, run)| {
+                        (
+                            format!("{}/{}", c.fig.id(), c.key),
+                            Json::Obj(vec![
+                                ("wall_seconds".to_string(), Json::F64(run.wall_s)),
+                                ("worker".to_string(), Json::U64(run.worker as u64)),
+                            ]),
+                        )
+                    })
                     .collect(),
             ),
         ),
@@ -253,24 +301,29 @@ fn main() -> ExitCode {
         spans.push((fig, all_cells.len()..all_cells.len() + specs.len()));
         all_cells.extend(specs);
     }
+    let budget = JobBudget::split(opts.jobs, opts.fleet_jobs);
     if !opts.quiet {
         eprintln!(
-            "running {} cells across {} figure(s) with {} job(s){}",
+            "running {} cells across {} figure(s) with {} job(s) \
+             ({} cell-level x {} fleet-level){}",
             all_cells.len(),
             spans.len(),
             opts.jobs,
+            budget.cell_jobs,
+            budget.fleet_jobs,
             if opts.fast { " (fast grid)" } else { "" }
         );
     }
     let t0 = std::time::Instant::now();
-    let (outs, walls) = sweep::run_cells_timed(&all_cells, opts.jobs, !opts.quiet);
+    let runs = sweep::run_cells_budget(&all_cells, budget, !opts.quiet);
     let wall_total = t0.elapsed().as_secs_f64();
+    let outs: Vec<CellOut> = runs.iter().map(|r| r.out.clone()).collect();
     if !opts.quiet {
         eprintln!("sweep finished in {wall_total:.1} s wall");
     }
 
     if let Some(path) = &opts.timing {
-        let json = timing_json(&opts, &all_cells, &walls, wall_total);
+        let json = timing_json(&opts, budget, &all_cells, &runs, wall_total);
         if let Some(dir) = std::path::Path::new(path).parent() {
             let _ = std::fs::create_dir_all(dir);
         }

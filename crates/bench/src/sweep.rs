@@ -7,26 +7,34 @@
 //! to completion without touching shared state, so a sweep executed with
 //! `--jobs 8` produces byte-identical results to a serial run (the
 //! simulator is deterministic; the only parallelism is across independent
-//! devices). [`run_cells`] fans cells out over `std::thread::scope`,
-//! [`derive()`] turns raw cell outputs into the ratios the paper reports
-//! (speedups, P95 improvements, scaling factors), and [`figure_json`] /
-//! [`consolidated_json`] serialize everything through [`crate::json`].
+//! devices). [`run_cells`] fans cells out on the shared deterministic pool
+//! ([`m2ndp::sim::par`]), [`derive()`] turns raw cell outputs into the
+//! ratios the paper reports (speedups, P95 improvements, scaling factors),
+//! and [`figure_json`] / [`consolidated_json`] serialize everything through
+//! [`crate::json`].
+//!
+//! Parallelism is a **nested budget** ([`JobBudget`]): `cell_jobs` workers
+//! run whole cells concurrently while `fleet_jobs` workers advance the
+//! devices *inside* each fleet/serving cell ([`Fleet::set_parallelism`]).
+//! `M2NDP_JOBS` / `M2NDP_FLEET_JOBS` set the defaults so the CLI, benches,
+//! examples, and tests share one knob; every combination emits
+//! byte-identical JSON — only wall-clock changes.
 //!
 //! Both the per-figure bench targets (`benches/fig*.rs`) and the `figures`
 //! CLI binary are thin fronts over this module, so the row computation for
 //! a figure exists exactly once.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use m2ndp::core::fleet::{Fleet, FleetConfig, SwitchNdp};
+use m2ndp::core::LaunchArgs;
 use m2ndp::core::{CxlM2ndpDevice, DeviceStats, M2ndpConfig, StatValue};
 use m2ndp::cxl::SwitchConfig;
 use m2ndp::host::cpu::{DataHome, HostCpu, HostCpuConfig};
 use m2ndp::host::nsu::NsuModel;
 use m2ndp::host::offload::{OffloadMechanism, OffloadModel, OffloadSim};
 use m2ndp::host::serve;
-use m2ndp::sim::{Frequency, Snapshot as _};
+use m2ndp::sim::{par, Frequency, Snapshot as _};
 use m2ndp::workloads::{dlrm, olap, opt};
 use m2ndp::SystemBuilder;
 
@@ -563,12 +571,76 @@ fn sweep_workloads(fast: bool) -> Vec<GpuWorkload> {
 // Cell execution
 // ---------------------------------------------------------------------------
 
+/// The sweep's nested-parallelism budget: how many whole cells run
+/// concurrently (`cell_jobs`) and how many workers advance the devices
+/// *inside* each fleet-backed cell (`fleet_jobs`, 1 = fleet parallelism
+/// off). Both axes only reorder *when* work executes — the emitted JSON is
+/// byte-identical at every combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobBudget {
+    /// Concurrent cells (the historical `--jobs` axis).
+    pub cell_jobs: usize,
+    /// Workers per fleet/serving cell ([`Fleet::set_parallelism`]).
+    pub fleet_jobs: usize,
+}
+
+impl JobBudget {
+    /// Everything serial — the bit-stability reference configuration.
+    pub fn serial() -> Self {
+        Self {
+            cell_jobs: 1,
+            fleet_jobs: 1,
+        }
+    }
+
+    /// Splits a total worker budget: `fleet_jobs` workers go to each
+    /// fleet's shards, the rest (`total / fleet_jobs` rounded down, at
+    /// least 1) to concurrent cells — so `--jobs 8 --fleet-jobs 4` runs 2
+    /// cells at a time with 4 device workers each. `fleet_jobs` is its own
+    /// axis and is **not** clamped to `total`: `split(1, 4)` keeps cells
+    /// serial while still running 4 shard workers inside each fleet cell
+    /// (how CI toggles fleet parallelism independently of cell
+    /// parallelism), so the peak thread count is `cell_jobs × fleet_jobs`,
+    /// which exceeds `total` when `fleet_jobs` does.
+    pub fn split(total: usize, fleet_jobs: usize) -> Self {
+        let fleet_jobs = fleet_jobs.max(1);
+        Self {
+            cell_jobs: (total / fleet_jobs).max(1),
+            fleet_jobs,
+        }
+    }
+
+    /// [`Self::split`] with environment defaults: `M2NDP_JOBS` overrides
+    /// the total budget and `M2NDP_FLEET_JOBS` the fleet share (default 1),
+    /// so benches, examples, and tests get the CLI's knobs without
+    /// plumbing flags.
+    pub fn from_env(total: usize) -> Self {
+        let total = par::env_jobs("M2NDP_JOBS").unwrap_or(total);
+        let fleet_jobs = par::env_jobs("M2NDP_FLEET_JOBS").unwrap_or(1);
+        Self::split(total, fleet_jobs)
+    }
+}
+
 /// Runs one cell to completion (building its own device), verifying
-/// functional results where the workload defines a check.
+/// functional results where the workload defines a check. Fleet-backed
+/// cells take their shard worker count from `M2NDP_FLEET_JOBS` (default
+/// serial); [`run_cell_with`] sets it explicitly.
 ///
 /// # Panics
 /// Panics if a device produces functionally incorrect results.
 pub fn run_cell(spec: &CellSpec) -> CellOut {
+    run_cell_with(spec, par::env_jobs("M2NDP_FLEET_JOBS").unwrap_or(1))
+}
+
+/// [`run_cell`] with an explicit fleet-level worker count for the cells
+/// that simulate a multi-device fleet (fig14a, fig11c, and fig14b's
+/// per-device-NDP reference cells; fig14b's in-switch cells drive a single
+/// device and ignore it, as do all other cells). Results are bit-identical
+/// at every `fleet_jobs`.
+///
+/// # Panics
+/// Panics if a device produces functionally incorrect results.
+pub fn run_cell_with(spec: &CellSpec, fleet_jobs: usize) -> CellOut {
     let out =
         |cycles: u64, ns: f64, stats: Option<DeviceStats>, extra: Vec<(&'static str, f64)>| {
             CellOut {
@@ -735,6 +807,7 @@ pub fn run_cell(spec: &CellSpec) -> CellOut {
                 switch: SwitchConfig::default(),
                 hdm_bytes_per_device: 1 << 30,
             });
+            fleet.set_parallelism(fleet_jobs);
             let shards = dlrm::shard(fleet_dlrm_cfg(), n);
             let mut datas = Vec::new();
             for (d, cfg) in shards.iter().enumerate() {
@@ -767,7 +840,13 @@ pub fn run_cell(spec: &CellSpec) -> CellOut {
                 switch: SwitchConfig::default(),
                 hdm_bytes_per_device: 1 << 30,
             });
+            fleet.set_parallelism(fleet_jobs);
             let base = fleet_opt_cfg();
+            // Serial per-device setup (generation + kernel registration),
+            // then the dependent decode-step sequences simulate
+            // shard-parallel on the fleet pool.
+            let mut datas = Vec::new();
+            let mut seqs: Vec<(u64, Vec<LaunchArgs>)> = Vec::new();
             for (d, cfg) in opt::tensor_parallel(base, n).iter().enumerate() {
                 let data = opt::generate(*cfg, fleet.device_mut(d).memory_mut());
                 let dev = fleet.device_mut(d);
@@ -778,13 +857,18 @@ pub fn run_cell(spec: &CellSpec) -> CellOut {
                     wsum: dev.register_kernel(opt::weighted_sum_kernel()),
                 };
                 let units = dev.config().engine.units;
-                let pool = fleet.shard_base(d);
-                for (_k, launch) in opt::decode_step_launches(&data, &kernels, units) {
-                    fleet
-                        .launch_routed_and_run(pool, launch)
-                        .expect("offload routes to its shard");
-                }
-                opt::verify(&data, fleet.device(d).memory()).expect("opt shard verifies");
+                let launches = opt::decode_step_launches(&data, &kernels, units)
+                    .into_iter()
+                    .map(|(_k, launch)| launch)
+                    .collect();
+                seqs.push((fleet.shard_base(d), launches));
+                datas.push(data);
+            }
+            fleet
+                .launch_routed_sequences(seqs)
+                .expect("offloads route to their shards");
+            for (d, data) in datas.iter().enumerate() {
+                opt::verify(data, fleet.device(d).memory()).expect("opt shard verifies");
             }
             let compute_done = fleet.completion();
             let allreduce = if n > 1 {
@@ -854,12 +938,14 @@ pub fn run_cell(spec: &CellSpec) -> CellOut {
             devices,
             rate_per_sec,
         } => {
-            let backend = serve::ServeBackend::Fleet(Box::new(Fleet::new(FleetConfig {
+            let mut fleet = Fleet::new(FleetConfig {
                 devices: *devices as usize,
                 device: serve_device_cfg(),
                 switch: SwitchConfig::default(),
                 hdm_bytes_per_device: 1 << 30,
-            })));
+            });
+            fleet.set_parallelism(fleet_jobs);
+            let backend = serve::ServeBackend::Fleet(Box::new(fleet));
             let (ns, stats, extra) = run_serve(backend, *mechanism, *rate_per_sec);
             out(0, ns, Some(stats), extra)
         }
@@ -910,14 +996,61 @@ fn run_serve(
     (p95, stats, extra)
 }
 
-/// Executes `cells` on up to `jobs` worker threads and returns outputs **in
-/// cell order** (independent of completion order). With `jobs == 1` this
-/// degenerates to a serial loop; because every cell is self-contained and
-/// the simulator deterministic, the returned outputs — and everything
-/// serialized from them — are identical for any job count.
+/// One executed cell plus its execution metadata: wall-clock seconds and
+/// the pool worker that ran it — the raw material of the `--timing`
+/// artifact. Wall time and worker assignment are inherently
+/// non-deterministic and never enter the byte-stable result JSON.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// The cell's deterministic output.
+    pub out: CellOut,
+    /// Wall-clock seconds the cell took.
+    pub wall_s: f64,
+    /// Cell-level pool worker id (`0..cell_jobs`) that executed the cell.
+    pub worker: usize,
+}
+
+/// Executes `cells` under a [`JobBudget`] — `budget.cell_jobs` concurrent
+/// cells, `budget.fleet_jobs` device workers inside each fleet cell — and
+/// returns outputs **in cell order** (independent of completion order) via
+/// [`m2ndp::sim::par::map_ordered_with`]. Every budget produces identical
+/// [`CellOut`]s; only `wall_s`/`worker` vary.
 ///
 /// `verbose` prints per-cell progress (with wall time) to stderr; stdout
 /// and the emitted JSON stay byte-stable.
+///
+/// # Panics
+/// Propagates a panic from any cell (e.g. a workload verification
+/// failure); the pool drains without deadlocking first.
+pub fn run_cells_budget(cells: &[CellSpec], budget: JobBudget, verbose: bool) -> Vec<CellRun> {
+    let done = AtomicUsize::new(0);
+    par::map_ordered_with(cells, budget.cell_jobs, |worker, cell| {
+        let t0 = std::time::Instant::now();
+        let out = run_cell_with(cell, budget.fleet_jobs);
+        let wall_s = t0.elapsed().as_secs_f64();
+        if verbose {
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "[{n}/{}] {} {:<32} {:>8.0} us simulated, {:.0} ms wall",
+                cells.len(),
+                cell.fig.id(),
+                cell.key,
+                out.ns / 1e3,
+                wall_s * 1e3
+            );
+        }
+        CellRun {
+            out,
+            wall_s,
+            worker,
+        }
+    })
+}
+
+/// Executes `cells` on up to `jobs` cell-level workers and returns outputs
+/// **in cell order**. Thin wrapper over [`run_cells_budget`]; fleet-level
+/// parallelism comes from `M2NDP_FLEET_JOBS` (default serial). Identical
+/// output for any job count.
 ///
 /// # Panics
 /// Propagates a panic from any cell (e.g. a workload verification failure).
@@ -930,45 +1063,17 @@ pub fn run_cells(cells: &[CellSpec], jobs: usize, verbose: bool) -> Vec<CellOut>
 /// perf-trajectory artifact and are inherently non-deterministic — they
 /// never enter the byte-stable result JSON.
 pub fn run_cells_timed(cells: &[CellSpec], jobs: usize, verbose: bool) -> (Vec<CellOut>, Vec<f64>) {
-    let jobs = jobs.clamp(1, cells.len().max(1));
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(CellOut, f64)>>> =
-        cells.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let t0 = std::time::Instant::now();
-                let cell = &cells[i];
-                let result = run_cell(cell);
-                let wall = t0.elapsed().as_secs_f64();
-                if verbose {
-                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    eprintln!(
-                        "[{n}/{}] {} {:<32} {:>8.0} us simulated, {:.0} ms wall",
-                        cells.len(),
-                        cell.fig.id(),
-                        cell.key,
-                        result.ns / 1e3,
-                        wall * 1e3
-                    );
-                }
-                *slots[i].lock().expect("slot lock") = Some((result, wall));
-            });
-        }
-    });
-    slots
+    let fleet_jobs = par::env_jobs("M2NDP_FLEET_JOBS").unwrap_or(1);
+    run_cells_budget(cells, JobBudget::split(jobs.max(1), fleet_jobs), verbose)
         .into_iter()
-        .map(|m| m.into_inner().expect("slot lock").expect("cell ran"))
+        .map(|run| (run.out, run.wall_s))
         .unzip()
 }
 
 /// Runs one figure end to end: grid → (parallel) execution → derived
-/// metrics.
+/// metrics. The budget resolves through [`JobBudget::from_env`], so
+/// `M2NDP_JOBS`/`M2NDP_FLEET_JOBS` reach the fig benches and examples
+/// without new flags.
 pub fn run_figure(
     fig: FigId,
     fast: bool,
@@ -976,7 +1081,10 @@ pub fn run_figure(
     verbose: bool,
 ) -> (Vec<CellOut>, Vec<Metric>) {
     let specs = cells(fig, fast);
-    let outs = run_cells(&specs, jobs, verbose);
+    let outs: Vec<CellOut> = run_cells_budget(&specs, JobBudget::from_env(jobs), verbose)
+        .into_iter()
+        .map(|run| run.out)
+        .collect();
     let metrics = derive(fig, &outs);
     (outs, metrics)
 }

@@ -173,10 +173,39 @@ impl CxlSwitch {
     /// earlier-timestamped send is not spuriously queued behind a
     /// later-timestamped one.
     pub fn host_to_device_unordered(&mut self, now: Cycle, dst: usize, bytes: u32) -> Cycle {
-        let ser = (f64::from(bytes) / self.host_port.0.bytes_per_cycle()).ceil() as Cycle;
-        let t = self.ports[dst].0.send(now + ser, bytes as u64);
+        let hbpc = self.host_port.0.bytes_per_cycle();
+        let t = unordered_host_hop(&mut self.ports[dst].0, hbpc, self.traversal, now, bytes);
         self.host_transfers.inc();
-        t + self.traversal
+        t
+    }
+
+    /// Splits the switch into per-device host→device lanes so independent
+    /// shard simulations can charge their own launch stores concurrently
+    /// (the fleet's shard-parallel execution core). Each [`HostLane`] owns
+    /// its port's `to_device` gate exclusively and counts its transfers
+    /// locally; fold the counts back with
+    /// [`Self::absorb_host_transfers`] once the lanes are dropped. One lane
+    /// per device port, in port order.
+    pub fn host_lanes(&mut self) -> Vec<HostLane<'_>> {
+        let host_bytes_per_cycle = self.host_port.0.bytes_per_cycle();
+        let traversal = self.traversal;
+        self.ports
+            .iter_mut()
+            .map(|(to_device, _)| HostLane {
+                to_device,
+                host_bytes_per_cycle,
+                traversal,
+                transfers: 0,
+            })
+            .collect()
+    }
+
+    /// Folds shard-local lane transfer counts (see [`Self::host_lanes`])
+    /// back into the shared `host_transfers` counter. Addition commutes, so
+    /// the fold is order-independent and the merged counter matches a
+    /// serial run exactly.
+    pub fn absorb_host_transfers(&mut self, transfers: u64) {
+        self.host_transfers.add(transfers);
     }
 
     /// Forwards `bytes` from device port `src` to the host; returns the
@@ -255,6 +284,58 @@ impl CxlSwitch {
     }
 }
 
+/// The unordered host→device hop shared by [`CxlSwitch::host_to_device_unordered`]
+/// and [`HostLane::host_to_device_unordered`]: the host port contributes
+/// its serialization *delay* without advancing the shared gate clock, the
+/// destination port's gate is charged for real, and one traversal is added.
+fn unordered_host_hop(
+    to_device: &mut BandwidthGate,
+    host_bytes_per_cycle: f64,
+    traversal: Cycle,
+    now: Cycle,
+    bytes: u32,
+) -> Cycle {
+    let ser = (f64::from(bytes) / host_bytes_per_cycle).ceil() as Cycle;
+    to_device.send(now + ser, bytes as u64) + traversal
+}
+
+/// One device port's host→device lane, split out of the switch with
+/// [`CxlSwitch::host_lanes`] so per-device shard simulations can run
+/// concurrently: the lane owns the port's `to_device` [`BandwidthGate`]
+/// exclusively (per-port state — no cross-device coupling) and accumulates
+/// its transfer count locally instead of touching the switch's shared
+/// counters.
+#[derive(Debug)]
+pub struct HostLane<'a> {
+    to_device: &'a mut BandwidthGate,
+    host_bytes_per_cycle: f64,
+    traversal: Cycle,
+    transfers: u64,
+}
+
+impl HostLane<'_> {
+    /// [`CxlSwitch::host_to_device_unordered`] for this lane's port: same
+    /// math, same result cycle, but safe to call from the shard that owns
+    /// the lane while sibling shards charge theirs.
+    pub fn host_to_device_unordered(&mut self, now: Cycle, bytes: u32) -> Cycle {
+        let t = unordered_host_hop(
+            self.to_device,
+            self.host_bytes_per_cycle,
+            self.traversal,
+            now,
+            bytes,
+        );
+        self.transfers += 1;
+        t
+    }
+
+    /// Host transfers charged through this lane so far (what
+    /// [`CxlSwitch::absorb_host_transfers`] expects back).
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +371,33 @@ mod tests {
         let busy = s.host_to_device(0, 0, 4096); // occupies port 0 for a while
         let other = s.host_to_device(0, 1, 64);
         assert!(other < busy, "port 1 should not wait behind port 0");
+    }
+
+    #[test]
+    fn host_lanes_match_the_unordered_switch_path() {
+        // The same stream of unordered launch stores, once through the
+        // switch method and once through split lanes, must produce
+        // identical delivery cycles, gate state, and transfer counts.
+        let mut reference = switch();
+        let mut split = switch();
+        let stream = [(0usize, 5u64, 80u32), (1, 9, 80), (0, 40, 256), (2, 7, 64)];
+        let expected: Vec<Cycle> = stream
+            .iter()
+            .map(|&(dst, now, bytes)| reference.host_to_device_unordered(now, dst, bytes))
+            .collect();
+        let mut got = Vec::new();
+        let mut lanes = split.host_lanes();
+        for &(dst, now, bytes) in &stream {
+            got.push(lanes[dst].host_to_device_unordered(now, bytes));
+        }
+        let transfers: u64 = lanes.iter().map(HostLane::transfers).sum();
+        drop(lanes);
+        split.absorb_host_transfers(transfers);
+        assert_eq!(got, expected);
+        assert_eq!(split.host_transfers.get(), reference.host_transfers.get());
+        for p in 0..3 {
+            assert_eq!(split.port_bytes(p), reference.port_bytes(p), "port {p}");
+        }
     }
 
     #[test]

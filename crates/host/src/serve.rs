@@ -31,10 +31,22 @@
 //! the event queue break by insertion order, and the device simulators are
 //! themselves deterministic, so a serving run is reproducible
 //! bit-for-bit at any sweep parallelism.
+//!
+//! **Shard-parallel execution.** A request's life touches exactly one
+//! device: routing is a pure function of its key, admission queues and
+//! kernel slots are per-device, and the switch charges launch stores on
+//! per-port gates. The runtime therefore decomposes into one independent
+//! event loop per device — generated and routed serially up front, then
+//! advanced concurrently on the fleet's shard pool
+//! ([`Fleet::with_shards`], worker count = [`Fleet::parallelism`], knob:
+//! `M2NDP_FLEET_JOBS`) and merged back in global arrival order. Per-device
+//! event streams, tie-breaking, and simulator state are identical to the
+//! historical single-threaded loop, so reports are bit-identical at every
+//! parallelism setting.
 
 use std::collections::VecDeque;
 
-use m2ndp_core::fleet::Fleet;
+use m2ndp_core::fleet::{Fleet, FleetShard};
 use m2ndp_core::{CxlM2ndpDevice, KernelId, KernelInstanceId, LaunchArgs};
 use m2ndp_sim::rng::{exponential, seeded, Zipf};
 use m2ndp_sim::{FEventQueue, FHistogram, Frequency};
@@ -117,6 +129,11 @@ pub struct Request {
 
 /// What the runtime needs from a workload: keys, routing, launches, and
 /// functional verification.
+///
+/// Key sampling happens once, serially, before anything runs; the
+/// launch/verify methods take `&self` because the runtime calls them from
+/// concurrent per-device shards (implementations must derive launches
+/// purely from the request and the per-device state built at setup).
 pub trait ServeWorkload {
     /// Samples the key of request `seq` of `tenant` from the workload's key
     /// distribution (`rng` is the tenant's dedicated key stream).
@@ -127,7 +144,7 @@ pub trait ServeWorkload {
     fn route_addr(&self, key: u64, devices: usize) -> u64;
 
     /// The device-local launch that serves `req` on device `dev`.
-    fn launch_args(&mut self, req: &Request, dev: usize) -> LaunchArgs;
+    fn launch_args(&self, req: &Request, dev: usize) -> LaunchArgs;
 
     /// Functional check after the request's kernel ran.
     ///
@@ -266,22 +283,25 @@ impl ServeReport {
 /// kernel *on the device simulator* to obtain the real service time, and
 /// is observed by the host `post_ns` after kernel completion.
 ///
+/// On fleet backends the independent per-device simulations advance
+/// concurrently on the fleet's shard pool ([`Fleet::parallelism`]
+/// workers); the report is bit-identical at every worker count (see the
+/// module docs).
+///
 /// # Panics
 /// Panics on malformed tenant specs (empty trace, non-positive rate), on
 /// launch rejections from the device, or on functional verification
 /// failures — a serving run that drops requests is a broken experiment,
 /// not a data point.
-pub fn run(
+pub fn run<W: ServeWorkload + Sync>(
     backend: &mut ServeBackend,
-    workload: &mut dyn ServeWorkload,
+    workload: &mut W,
     cfg: &ServeConfig,
     tenants: &[TenantSpec],
 ) -> ServeReport {
     let ndev = backend.devices();
     let clock = backend.clock();
     let slots = cfg.model.max_concurrent().min(cfg.device_slots).max(1);
-    let (pre, post) = (cfg.model.pre_ns(), cfg.model.post_ns());
-    let direct = cfg.model.mechanism() == OffloadMechanism::CxlIoDirect;
 
     // ---- generate every tenant's arrival + key stream ----
     let mut requests: Vec<Request> = Vec::new();
@@ -320,110 +340,56 @@ pub fn run(
     });
     let n = requests.len();
 
-    // ---- event-driven admission over the slot pools ----
-    enum Ev {
-        Arrive(usize),
-        SlotFree(usize),
-    }
-    let mut events: FEventQueue<Ev> = FEventQueue::new();
+    // ---- route every request to its owning device (serial, so each
+    // per-device stream inherits the global arrival order) ----
+    let mut shard_requests: Vec<Vec<usize>> = vec![Vec::new(); ndev];
     for (i, r) in requests.iter().enumerate() {
-        events.schedule(r.arrival_ns, Ev::Arrive(i));
-    }
-    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); ndev];
-    let mut free = vec![slots; ndev];
-    let mut outstanding = vec![0u32; ndev];
-    let mut max_outstanding = vec![0u32; ndev];
-    let mut records: Vec<Option<ReqRecord>> = vec![None; n];
-    let mut launches = 0u64;
-
-    while let Some((now, ev)) = events.pop() {
-        let dev = match ev {
-            Ev::Arrive(i) => {
-                let req = &requests[i];
-                let dev = if ndev == 1 {
-                    0
-                } else {
-                    let ServeBackend::Fleet(fleet) = &*backend else {
-                        unreachable!("multi-device backends are fleets")
-                    };
-                    let addr = workload.route_addr(req.key, ndev);
-                    fleet
-                        .router()
-                        .device_of(addr)
-                        .expect("workload routes inside the fleet HDM")
-                };
-                queues[dev].push_back(i);
-                dev
-            }
-            Ev::SlotFree(dev) => {
-                free[dev] += 1;
-                outstanding[dev] -= 1;
-                dev
+        let dev = match &*backend {
+            ServeBackend::Device(_) => 0,
+            ServeBackend::Fleet(fleet) => {
+                let addr = workload.route_addr(r.key, ndev);
+                fleet
+                    .router()
+                    .device_of(addr)
+                    .expect("workload routes inside the fleet HDM")
             }
         };
-        // Admit as long as the device has free slots (FIFO).
-        while free[dev] > 0 {
-            let Some(i) = queues[dev].pop_front() else {
-                break;
-            };
-            free[dev] -= 1;
-            outstanding[dev] += 1;
-            max_outstanding[dev] = max_outstanding[dev].max(outstanding[dev]);
-            let req = requests[i];
-            let args = workload.launch_args(&req, dev);
+        shard_requests[dev].push(i);
+    }
 
-            // Launch on the simulator; fleets route the store through the
-            // switch and convert its cycle-level skew back to ns.
-            let (inst, switch_skew_ns) = match backend {
-                ServeBackend::Device(device) => (
-                    m2func_or_direct_launch(device, cfg.model.mechanism(), req.tenant, args),
-                    0.0,
-                ),
-                ServeBackend::Fleet(fleet) => {
-                    let issue = clock.cycles_from_ns(now);
-                    let addr = workload.route_addr(req.key, ndev);
-                    let (routed, inst) = if cfg.model.mechanism() == OffloadMechanism::M2Func {
-                        let (routed, inst, _) = fleet
-                            .m2func_launch_routed(issue, req.tenant, addr, args)
-                            .expect("serving launch must not be rejected");
-                        (routed, inst)
-                    } else {
-                        fleet
-                            .launch_routed(issue, addr, args)
-                            .expect("serving launch must not be rejected")
-                    };
-                    assert_eq!(routed, dev, "router must agree with admission");
-                    let arrival = fleet.offload_arrival(dev);
-                    (inst, clock.ns_from_cycles(arrival.saturating_sub(issue)))
-                }
-            };
-            let device = match backend {
-                ServeBackend::Device(d) => &mut **d,
-                ServeBackend::Fleet(f) => f.device_mut(dev),
-            };
-            let t0 = device.now();
-            let done = device.run_until_finished(inst);
-            let service_ns = clock.ns_from_cycles(done - t0);
-            launches += 1;
-            workload
-                .verify(&req, dev, device)
-                .expect("request must verify functionally");
+    // ---- independent per-device event loops, shards on the pool ----
+    let ctx = ShardCtx {
+        requests: &requests,
+        workload: &*workload,
+        cfg,
+        clock,
+        slots,
+    };
+    let outcomes: Vec<ShardOutcome> = match backend {
+        ServeBackend::Device(device) => vec![simulate_shard(
+            &ctx,
+            0,
+            &shard_requests[0],
+            ShardSim::Standalone(device),
+        )],
+        ServeBackend::Fleet(fleet) => {
+            let jobs = fleet.parallelism();
+            fleet.with_shards(jobs, |shard| {
+                let dev = shard.index();
+                simulate_shard(&ctx, dev, &shard_requests[dev], ShardSim::Fleet(shard))
+            })
+        }
+    };
 
-            let start = now + switch_skew_ns + pre;
-            let kernel_done = start + service_ns;
-            let observed = kernel_done + post;
-            let slot_free_at = if direct { observed } else { kernel_done };
-            events.schedule(slot_free_at, Ev::SlotFree(dev));
-            records[i] = Some(ReqRecord {
-                tenant: req.tenant,
-                seq: req.seq,
-                device: dev,
-                arrival_ns: req.arrival_ns,
-                admitted_ns: now,
-                start_ns: start,
-                service_ns,
-                observed_ns: observed,
-            });
+    // ---- merge shard outcomes back into global arrival order ----
+    let mut records: Vec<Option<ReqRecord>> = vec![None; n];
+    let mut max_outstanding = vec![0u32; ndev];
+    let mut launches = 0u64;
+    for (dev, outcome) in outcomes.into_iter().enumerate() {
+        max_outstanding[dev] = outcome.max_outstanding;
+        launches += outcome.launches;
+        for (i, rec) in outcome.records {
+            records[i] = Some(rec);
         }
     }
     let records: Vec<ReqRecord> = records
@@ -485,6 +451,153 @@ pub fn run(
         max_outstanding,
         launches,
         records,
+    }
+}
+
+/// Read-only context shared by every device shard; pool workers only read
+/// it (requests are plain data, the workload's launch/verify methods take
+/// `&self`).
+struct ShardCtx<'a, W: ?Sized> {
+    requests: &'a [Request],
+    workload: &'a W,
+    cfg: &'a ServeConfig,
+    clock: Frequency,
+    slots: u32,
+}
+
+/// The two simulator shapes a shard drives: a standalone device (launch
+/// store already inside the mechanism's `pre_ns`) or one fleet shard
+/// (launch store charged on the shard's switch-port lane).
+enum ShardSim<'a, 'b> {
+    Standalone(&'a mut CxlM2ndpDevice),
+    Fleet(&'a mut FleetShard<'b>),
+}
+
+impl ShardSim<'_, '_> {
+    fn device_mut(&mut self) -> &mut CxlM2ndpDevice {
+        match self {
+            ShardSim::Standalone(device) => device,
+            ShardSim::Fleet(shard) => shard.device_mut(),
+        }
+    }
+}
+
+/// What one device shard produced: its request records (tagged with the
+/// global arrival-order index for the merge), peak outstanding kernels,
+/// and launch count.
+struct ShardOutcome {
+    records: Vec<(usize, ReqRecord)>,
+    max_outstanding: u32,
+    launches: u64,
+}
+
+/// One device's event-driven admission loop — exactly the historical
+/// global loop restricted to this device's arrivals: FIFO queue, slot
+/// pool, launch store (lane-charged in fleets), kernel on the simulator,
+/// functional verification, slot release at kernel completion (direct
+/// MMIO: at host observation). Arrivals are pre-scheduled before any
+/// `SlotFree`, so equal-time ties break identically to the global queue.
+fn simulate_shard<W: ServeWorkload + ?Sized>(
+    ctx: &ShardCtx<'_, W>,
+    dev: usize,
+    idxs: &[usize],
+    mut sim: ShardSim<'_, '_>,
+) -> ShardOutcome {
+    let (pre, post) = (ctx.cfg.model.pre_ns(), ctx.cfg.model.post_ns());
+    let mechanism = ctx.cfg.model.mechanism();
+    let direct = mechanism == OffloadMechanism::CxlIoDirect;
+    enum Ev {
+        Arrive(usize),
+        SlotFree,
+    }
+    let mut events: FEventQueue<Ev> = FEventQueue::new();
+    for &i in idxs {
+        events.schedule(ctx.requests[i].arrival_ns, Ev::Arrive(i));
+    }
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut free = ctx.slots;
+    let mut outstanding = 0u32;
+    let mut max_outstanding = 0u32;
+    let mut launches = 0u64;
+    let mut records: Vec<(usize, ReqRecord)> = Vec::with_capacity(idxs.len());
+
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::Arrive(i) => queue.push_back(i),
+            Ev::SlotFree => {
+                free += 1;
+                outstanding -= 1;
+            }
+        }
+        // Admit as long as the device has free slots (FIFO).
+        while free > 0 {
+            let Some(i) = queue.pop_front() else {
+                break;
+            };
+            free -= 1;
+            outstanding += 1;
+            max_outstanding = max_outstanding.max(outstanding);
+            let req = ctx.requests[i];
+            let args = ctx.workload.launch_args(&req, dev);
+
+            // Launch on the simulator; fleet shards charge the store on
+            // their switch-port lane and convert its cycle-level skew back
+            // to ns.
+            let (inst, switch_skew_ns) = match &mut sim {
+                ShardSim::Standalone(device) => (
+                    m2func_or_direct_launch(device, mechanism, req.tenant, args),
+                    0.0,
+                ),
+                ShardSim::Fleet(shard) => {
+                    let issue = ctx.clock.cycles_from_ns(now);
+                    let (inst, arrival) = if mechanism == OffloadMechanism::M2Func {
+                        shard
+                            .m2func_launch(issue, req.tenant, args)
+                            .expect("serving launch must not be rejected")
+                    } else {
+                        shard
+                            .launch(issue, args)
+                            .expect("serving launch must not be rejected")
+                    };
+                    (
+                        inst,
+                        ctx.clock.ns_from_cycles(arrival.saturating_sub(issue)),
+                    )
+                }
+            };
+            let device = sim.device_mut();
+            let t0 = device.now();
+            let done = device.run_until_finished(inst);
+            let service_ns = ctx.clock.ns_from_cycles(done - t0);
+            launches += 1;
+            ctx.workload
+                .verify(&req, dev, device)
+                .expect("request must verify functionally");
+
+            let start = now + switch_skew_ns + pre;
+            let kernel_done = start + service_ns;
+            let observed = kernel_done + post;
+            let slot_free_at = if direct { observed } else { kernel_done };
+            events.schedule(slot_free_at, Ev::SlotFree);
+            records.push((
+                i,
+                ReqRecord {
+                    tenant: req.tenant,
+                    seq: req.seq,
+                    device: dev,
+                    arrival_ns: req.arrival_ns,
+                    admitted_ns: now,
+                    start_ns: start,
+                    service_ns,
+                    observed_ns: observed,
+                },
+            ));
+        }
+    }
+    ShardOutcome {
+        records,
+        max_outstanding,
+        launches,
     }
 }
 
@@ -606,7 +719,7 @@ impl ServeWorkload for KvServeWorkload {
         self.shard_bases[self.owner(key)]
     }
 
-    fn launch_args(&mut self, req: &Request, dev: usize) -> LaunchArgs {
+    fn launch_args(&self, req: &Request, dev: usize) -> LaunchArgs {
         debug_assert_eq!(self.owner(req.key), dev);
         kvstore::launch(
             &self.shards[dev],

@@ -15,7 +15,10 @@
 //!   samplers used by the workload generators,
 //! * [`EventQueue`] / [`FEventQueue`] — small discrete-event heaps (integer
 //!   cycles / `f64` nanoseconds) used by open-loop request-arrival
-//!   simulations (e.g. the KVStore tail-latency and serving experiments).
+//!   simulations (e.g. the KVStore tail-latency and serving experiments),
+//! * [`par`] — deterministic, ordered, scoped fan-out
+//!   ([`par::map_ordered`]) shared by the figure sweep, the fleet, and the
+//!   serving runtime.
 //!
 //! Everything here is deterministic: no wall-clock time, no global state, and
 //! all randomness flows from caller-provided seeds, so simulations are
@@ -40,6 +43,7 @@
 
 pub mod bandwidth;
 pub mod event;
+pub mod par;
 pub mod pipe;
 pub mod queue;
 pub mod rng;

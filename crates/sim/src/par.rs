@@ -1,0 +1,212 @@
+//! Deterministic, ordered, scoped fan-out — the shard-parallel execution
+//! core shared by the figure sweep, the multi-device fleet, and the serving
+//! runtime.
+//!
+//! The model is intentionally tiny: a fixed set of `jobs` scoped worker
+//! threads pull item indices from an atomic counter and write results into
+//! per-index slots, so [`map_ordered`] returns results **in input order
+//! regardless of completion order**. There is no work stealing, no channels,
+//! and no crates.io dependency — just `std::thread::scope`, which also means
+//! a borrowed closure and borrowed items work without `'static` bounds.
+//!
+//! Determinism contract: the pool never changes *what* is computed, only
+//! *when*. As long as each item's computation is self-contained (every cell
+//! builds its own device; every fleet shard owns its device and switch-port
+//! lane), the returned vector is bit-identical for any `jobs` value — the
+//! invariant the sweep's byte-stable JSON and the fleet's cycle-exact
+//! parity gates rely on.
+//!
+//! Panic behaviour: a panicking item **cannot deadlock the pool**. The
+//! panicking worker raises a bail flag on its way out, the remaining
+//! workers stop pulling new items, `std::thread::scope` joins everyone, and
+//! the panic resumes on the caller's thread.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parses a positive worker count from the environment variable `var`
+/// (e.g. `M2NDP_JOBS`, `M2NDP_FLEET_JOBS`). Returns `None` when the
+/// variable is unset, unparsable, or zero, so callers fall back to their
+/// own default.
+pub fn env_jobs(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// Raises the bail flag if its worker unwinds, so sibling workers stop
+/// pulling new items instead of racing a dying pool.
+struct BailOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for BailOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The shared pool core: runs `run_one(worker, index)` for every index in
+/// `0..n` on up to `jobs` scoped workers and returns the results in index
+/// order. `jobs <= 1` degenerates to a plain serial loop (worker id 0) with
+/// no threads spawned.
+///
+/// # Panics
+/// Propagates the first item panic after all workers have stopped.
+fn run_indexed<R, F>(n: usize, jobs: usize, run_one: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(|i| run_one(0, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let bail = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Workers are joined explicitly so the *original* item panic payload
+    // resumes on the caller's thread (scope's implicit propagation would
+    // replace it with "a scoped thread panicked").
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|worker| {
+                let (next, bail, slots, run_one) = (&next, &bail, &slots, &run_one);
+                s.spawn(move || {
+                    let _guard = BailOnPanic(bail);
+                    while !bail.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result = run_one(worker, i);
+                        *slots[i].lock().expect("result slot lock") = Some(result);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic_payload.get_or_insert(payload);
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock")
+                .expect("every item ran")
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` on up to `jobs` workers, returning the results
+/// **in input order** regardless of completion order. With `jobs == 1`
+/// this is a plain serial loop; because the pool only reorders *when* items
+/// run, any `jobs` value yields identical output for self-contained `f`.
+///
+/// # Panics
+/// Propagates the first item panic once the pool has drained (see the
+/// module docs — a panicking item never deadlocks the pool).
+pub fn map_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed(items.len(), jobs, |_, i| f(&items[i]))
+}
+
+/// [`map_ordered`], additionally passing each call the id (`0..jobs`) of
+/// the worker that executed it — the hook the sweep's `--timing` artifact
+/// uses to make its parallelism auditable. Worker *assignment* is
+/// scheduling-dependent; the returned values must not be.
+///
+/// # Panics
+/// Propagates the first item panic once the pool has drained.
+pub fn map_ordered_with<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_indexed(items.len(), jobs, |worker, i| f(worker, &items[i]))
+}
+
+/// Mutable fan-out: runs `f` once on every item with exclusive access,
+/// returning the results in input order. Each item is handed to exactly
+/// one worker (the fleet uses this to advance N device simulators
+/// concurrently, each worker owning one shard).
+///
+/// # Panics
+/// Propagates the first item panic once the pool has drained.
+pub fn map_ordered_mut<T, R, F>(items: &mut [T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let handoff: Vec<Mutex<Option<&mut T>>> =
+        items.iter_mut().map(|t| Mutex::new(Some(t))).collect();
+    run_indexed(handoff.len(), jobs, |worker, i| {
+        let item = handoff[i]
+            .lock()
+            .expect("item handoff lock")
+            .take()
+            .expect("each item is taken exactly once");
+        f(worker, item)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_ordered_returns_input_order_at_any_job_count() {
+        let items: Vec<u64> = (0..57).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = map_ordered(&items, jobs, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_ordered_mut_gives_each_item_to_exactly_one_worker() {
+        let mut items = vec![0u32; 100];
+        let out = map_ordered_mut(&mut items, 4, |_, item| {
+            *item += 1;
+            *item
+        });
+        assert_eq!(out, vec![1; 100]);
+        assert_eq!(items, vec![1; 100]);
+    }
+
+    #[test]
+    fn worker_ids_stay_inside_the_pool() {
+        let items = vec![(); 40];
+        let workers = map_ordered_with(&items, 4, |worker, ()| worker);
+        assert!(workers.into_iter().all(|w| w < 4));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = map_ordered(&[] as &[u8], 8, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn env_jobs_rejects_garbage_and_zero() {
+        // Touching the process environment is unsound in multi-threaded
+        // tests; exercise the parse contract through unset names instead.
+        assert_eq!(env_jobs("M2NDP_PAR_TEST_SURELY_UNSET"), None);
+    }
+}

@@ -11,6 +11,8 @@
 use m2ndp::core::fleet::{Fleet, FleetConfig, SwitchNdp};
 use m2ndp::core::M2ndpConfig;
 use m2ndp::cxl::SwitchConfig;
+use m2ndp::host::offload::OffloadMechanism;
+use m2ndp::host::serve::{self, Arrival, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
 use m2ndp::workloads::{dlrm, opt};
 
 fn device_cfg() -> M2ndpConfig {
@@ -146,6 +148,120 @@ fn tensor_parallel_opt_verifies_and_allreduce_is_switch_traffic() {
         2 * (n as u64 - 1) * n as u64 * (bytes / n as u64)
     );
     assert!(fleet.switch().p2p_transfers.get() > 0);
+}
+
+/// Runs the sharded SLS batch on a fleet with the given shard-parallelism
+/// and returns everything the determinism contract covers: the `FleetRun`,
+/// the aggregate device stats, and the switch's host-transfer count.
+fn dlrm_run_at_parallelism(jobs: usize) -> (m2ndp::core::fleet::FleetRun, Vec<String>, u64) {
+    let mut fleet = fleet(4);
+    fleet.set_parallelism(jobs);
+    let mut datas = Vec::new();
+    for (d, cfg) in dlrm::shard(small_dlrm(), 4).iter().enumerate() {
+        let data = dlrm::generate(*cfg, fleet.device_mut(d).memory_mut());
+        let kid = fleet.device_mut(d).register_kernel(dlrm::kernel());
+        let pool = fleet.shard_base(d);
+        fleet
+            .launch_routed(0, pool, dlrm::launch(&data, kid))
+            .expect("offload routes");
+        datas.push(data);
+    }
+    let run = fleet.run_launched();
+    for (d, data) in datas.iter().enumerate() {
+        dlrm::verify(data, fleet.device(d).memory()).unwrap_or_else(|e| panic!("shard {d}: {e}"));
+    }
+    let stats = fleet
+        .stats()
+        .metrics()
+        .into_iter()
+        .map(|(name, v)| format!("{name}={v:?}"))
+        .collect();
+    (run, stats, fleet.switch().host_transfers.get())
+}
+
+/// The ISSUE-5 determinism gate: the same `FleetRun` executed with fleet
+/// parallelism forced to 1 and to N must agree on `kernel_cycles`,
+/// `per_device`, `compute_done`, and the aggregate device statistics —
+/// shard-parallel execution may only change wall-clock, never results.
+#[test]
+fn fleet_parallelism_is_bit_identical_to_serial() {
+    let (serial, serial_stats, serial_transfers) = dlrm_run_at_parallelism(1);
+    for jobs in [2usize, 4, 8] {
+        let (par, stats, transfers) = dlrm_run_at_parallelism(jobs);
+        assert_eq!(serial.kernel_cycles, par.kernel_cycles, "jobs={jobs}");
+        assert_eq!(serial.per_device, par.per_device, "jobs={jobs}");
+        assert_eq!(serial.compute_done, par.compute_done, "jobs={jobs}");
+        assert_eq!(serial_stats, stats, "jobs={jobs}");
+        assert_eq!(serial_transfers, transfers, "jobs={jobs}");
+    }
+}
+
+/// A fig11c-style serving run (two open-loop tenants over a 4-device
+/// fleet, every request a real M²func launch through the switch) must be
+/// bit-identical at fleet parallelism 1 and N: same per-request records,
+/// same histograms, same throughput, same switch traffic.
+#[test]
+fn serve_run_is_bit_identical_at_any_fleet_parallelism() {
+    let run_at = |jobs: usize| {
+        let mut fleet = Fleet::new(FleetConfig {
+            devices: 4,
+            device: device_cfg(),
+            switch: SwitchConfig::default(),
+            hdm_bytes_per_device: 64 << 20,
+        });
+        fleet.set_parallelism(jobs);
+        let mut backend = ServeBackend::Fleet(Box::new(fleet));
+        let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.99);
+        let cfg = ServeConfig::with_defaults(OffloadMechanism::M2Func);
+        let rate = 2e6;
+        let tenants = vec![
+            TenantSpec {
+                name: "interactive".into(),
+                arrival: Arrival::Poisson {
+                    rate_per_sec: rate * 0.7,
+                },
+                requests: 150,
+                slo_ns: 5_000.0,
+                seed: 0x5EA1,
+            },
+            TenantSpec {
+                name: "batch".into(),
+                arrival: Arrival::Trace {
+                    gaps_ns: vec![0.6e9 / (rate * 0.3), 1.4e9 / (rate * 0.3)],
+                },
+                requests: 75,
+                slo_ns: 5_000.0,
+                seed: 0x5EB2,
+            },
+        ];
+        let mut report = serve::run(&mut backend, &mut wl, &cfg, &tenants);
+        let fleet = backend.fleet().expect("fleet backend");
+        let records: Vec<(u16, u64, usize, u64, u64)> = report
+            .records
+            .iter()
+            .map(|r| {
+                (
+                    r.tenant,
+                    r.seq,
+                    r.device,
+                    r.latency_ns().to_bits(),
+                    r.service_ns.to_bits(),
+                )
+            })
+            .collect();
+        (
+            records,
+            report.p95_ns().to_bits(),
+            report.throughput.to_bits(),
+            report.launches,
+            report.max_outstanding.clone(),
+            fleet.switch().host_transfers.get(),
+        )
+    };
+    let serial = run_at(1);
+    for jobs in [2usize, 4] {
+        assert_eq!(serial, run_at(jobs), "jobs={jobs}");
+    }
 }
 
 #[test]
