@@ -1,0 +1,236 @@
+//! The `m2ndp-asm` command-line toolchain for the M²NDP kernel dialect.
+//!
+//! Three subcommands over the `.s` sources in `programs/` (or any file in
+//! the accepted dialect):
+//!
+//! * `check <file.s>...` — assemble each file and report instruction/label
+//!   counts, or a line-accurate `file:line: message` error;
+//! * `asm <file.s>...` — assemble and print the program listing: labels,
+//!   indexed instruction forms, and the register-usage summary the kernel
+//!   registration interface needs (Table II's `numIntRegs` etc.);
+//! * `disasm <file.s>...` — assemble then print the canonical disassembly,
+//!   which re-assembles to the identical program (the round-trip law; see
+//!   `m2ndp_riscv::disasm`).
+//!
+//! The library surface exists so integration tests can drive the CLI logic
+//! without spawning processes; `src/main.rs` is a thin wrapper.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use m2ndp_riscv::{assemble, disassemble, Program};
+
+/// Usage text printed on bad invocations.
+pub const USAGE: &str = "usage: m2ndp-asm <check|asm|disasm> <file.s>...
+
+  check   assemble each file; report counts or a file:line error
+  asm     assemble and print the indexed program listing
+  disasm  assemble and print canonical round-trippable disassembly";
+
+/// A CLI failure: what to print on stderr (exit status is always 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// The message, already formatted as `file:line: reason` where a source
+    /// location exists.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+    }
+}
+
+/// Reads and assembles one source file, mapping errors to `file:line:` form.
+fn load(path: &str) -> Result<(String, Program), CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| fail(format!("{path}: {e}")))?;
+    let program = assemble(&text).map_err(|e| fail(format!("{path}:{}: {}", e.line, e.message)))?;
+    Ok((text, program))
+}
+
+/// Renders the `check` report line for one assembled file.
+fn check_line(path: &str, program: &Program) -> String {
+    format!(
+        "{path}: OK ({} instrs, {} labels)",
+        program.len(),
+        program.labels().len()
+    )
+}
+
+/// Renders the `asm` listing: labels interleaved at their indices, indexed
+/// instruction forms, and the register-usage footer.
+fn listing(program: &Program) -> String {
+    let mut at: std::collections::BTreeMap<usize, Vec<&str>> = std::collections::BTreeMap::new();
+    for (name, &idx) in program.labels() {
+        at.entry(idx).or_default().push(name);
+    }
+    for names in at.values_mut() {
+        names.sort_unstable();
+    }
+    let mut out = String::new();
+    for (idx, instr) in program.instrs().iter().enumerate() {
+        for name in at.get(&idx).into_iter().flatten() {
+            let _ = writeln!(out, "{name}:");
+        }
+        let _ = writeln!(out, "{idx:>4}  {instr:?}");
+    }
+    for name in at.get(&program.len()).into_iter().flatten() {
+        let _ = writeln!(out, "{name}:");
+    }
+    let u = program.reg_usage();
+    let _ = writeln!(
+        out,
+        "; {} instrs, int_regs={}, float_regs={}, vector_regs={}",
+        program.len(),
+        u.int_regs,
+        u.float_regs,
+        u.vector_regs
+    );
+    out
+}
+
+/// Runs the CLI on `args` (without the argv\[0\] program name), writing
+/// reports to `out`. On failure the error carries the formatted
+/// `file:line: message` diagnostic for stderr.
+///
+/// # Errors
+/// Returns a [`CliError`] on usage mistakes, unreadable files, assembly
+/// errors, or non-canonical programs the disassembler rejects.
+pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let (cmd, files) = args.split_first().ok_or_else(|| fail(USAGE))?;
+    if files.is_empty() {
+        return Err(fail(USAGE));
+    }
+    let banner = files.len() > 1;
+    for path in files {
+        match cmd.as_str() {
+            "check" => {
+                let (_, program) = load(path)?;
+                let _ = writeln!(out, "{}", check_line(path, &program));
+            }
+            "asm" => {
+                let (_, program) = load(path)?;
+                if banner {
+                    let _ = writeln!(out, "== {path} ==");
+                }
+                out.push_str(&listing(&program));
+            }
+            "disasm" => {
+                let (_, program) = load(path)?;
+                if banner {
+                    let _ = writeln!(out, "== {path} ==");
+                }
+                let text = disassemble(&program)
+                    .map_err(|e| fail(format!("{path}: instr {}: {}", e.index, e.message)))?;
+                out.push_str(&text);
+            }
+            other => return Err(fail(format!("unknown subcommand `{other}`\n{USAGE}"))),
+        }
+    }
+    Ok(())
+}
+
+/// Convenience for `main`: run and translate to an exit code, printing to
+/// the real stdout/stderr.
+pub fn main_impl(args: Vec<String>) -> i32 {
+    let mut out = String::new();
+    match run(&args, &mut out) {
+        Ok(()) => {
+            print!("{out}");
+            0
+        }
+        Err(e) => {
+            print!("{out}");
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// Returns true when `path` looks like an assembly source (used by shell
+/// completion helpers and the corpus test to filter `programs/`).
+pub fn is_asm_source(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("m2ndp-asm-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    #[test]
+    fn check_reports_counts() {
+        let p = tmpfile("ok.s", "start:\nli x5, 1\nj start\nhalt\n");
+        let mut out = String::new();
+        run(&["check".to_string(), p.display().to_string()], &mut out).unwrap();
+        assert!(out.contains("OK (3 instrs, 1 labels)"), "{out}");
+    }
+
+    #[test]
+    fn errors_carry_file_and_line() {
+        let p = tmpfile("bad.s", "li x5, 1\nbogus x1, x2\n");
+        let mut out = String::new();
+        let e = run(&["check".to_string(), p.display().to_string()], &mut out).unwrap_err();
+        assert!(
+            e.message.contains("bad.s:2:"),
+            "line-accurate error, got: {}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn disasm_output_reassembles_identically() {
+        let p = tmpfile(
+            "rt.s",
+            "loop:\naddi x5, x5, -1\nbnez x5, loop\nvsetvli x0, x0, e32\nvle32.v v1, (x1)\nhalt\n",
+        );
+        let mut out = String::new();
+        run(&["disasm".to_string(), p.display().to_string()], &mut out).unwrap();
+        let original = assemble(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(assemble(&out).unwrap(), original);
+    }
+
+    #[test]
+    fn asm_listing_shows_labels_and_reg_usage() {
+        let p = tmpfile("list.s", "top:\nadd x4, x3, x3\nj top\n");
+        let mut out = String::new();
+        run(&["asm".to_string(), p.display().to_string()], &mut out).unwrap();
+        assert!(out.contains("top:"), "{out}");
+        assert!(out.contains("int_regs=5"), "{out}");
+    }
+
+    #[test]
+    fn bad_usage_is_an_error() {
+        let mut out = String::new();
+        assert!(run(&[], &mut out).is_err());
+        assert!(run(&["check".to_string()], &mut out).is_err());
+        let p = tmpfile("u.s", "halt\n");
+        let e = run(
+            &["frobnicate".to_string(), p.display().to_string()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn source_filter_accepts_dot_s() {
+        assert!(is_asm_source(Path::new("programs/spmv.s")));
+        assert!(!is_asm_source(Path::new("README.md")));
+    }
+}

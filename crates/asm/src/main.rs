@@ -1,0 +1,6 @@
+//! `m2ndp-asm`: assemble, check, and disassemble M²NDP kernel sources.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(m2ndp_asm::main_impl(args));
+}

@@ -41,8 +41,10 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
 }
 
 /// Parses an integer register name (`x7`, `zero`, `a0`, `t3`, `sp`, ...).
+/// Register names are case-insensitive, matching the mnemonic handling.
 fn xreg(tok: &str, line: usize) -> Result<u8, AsmError> {
-    let t = tok.trim();
+    let lowered = tok.trim().to_ascii_lowercase();
+    let t = lowered.as_str();
     if let Some(n) = t.strip_prefix('x') {
         if let Ok(i) = n.parse::<u8>() {
             if i < 32 {
@@ -90,7 +92,8 @@ fn xreg(tok: &str, line: usize) -> Result<u8, AsmError> {
 
 /// Parses a float register name (`f3`, `ft0`, `fa1`, `fs2`).
 fn freg(tok: &str, line: usize) -> Result<u8, AsmError> {
-    let t = tok.trim();
+    let lowered = tok.trim().to_ascii_lowercase();
+    let t = lowered.as_str();
     if let Some(n) = t.strip_prefix('f') {
         if let Ok(i) = n.parse::<u8>() {
             if i < 32 {
@@ -128,7 +131,8 @@ fn freg(tok: &str, line: usize) -> Result<u8, AsmError> {
 
 /// Parses a vector register name (`v0`–`v31`).
 fn vreg(tok: &str, line: usize) -> Result<u8, AsmError> {
-    let t = tok.trim();
+    let lowered = tok.trim().to_ascii_lowercase();
+    let t = lowered.as_str();
     if let Some(n) = t.strip_prefix('v') {
         if let Ok(i) = n.parse::<u8>() {
             if i < 32 {
@@ -140,19 +144,27 @@ fn vreg(tok: &str, line: usize) -> Result<u8, AsmError> {
 }
 
 /// Parses an immediate: decimal or 0x-hex, with optional sign.
+///
+/// The magnitude is parsed as a `u64` so the full two's-complement range
+/// round-trips: `-9223372036854775808` (`i64::MIN`) and
+/// `0xffffffffffffffff` (= -1) are both accepted.
 fn imm(tok: &str, line: usize) -> Result<i64, AsmError> {
     let t = tok.trim();
-    let (neg, t) = match t.strip_prefix('-') {
+    let (neg, body) = match t.strip_prefix('-') {
         Some(rest) => (true, rest),
         None => (false, t),
     };
-    let v = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
-        u64::from_str_radix(h, 16).map(|v| v as i64)
+    let v = if let Some(h) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16)
     } else {
-        t.parse::<i64>()
+        body.parse::<u64>()
     };
     match v {
-        Ok(v) => Ok(if neg { -v } else { v }),
+        Ok(v) => Ok(if neg {
+            (v as i64).wrapping_neg()
+        } else {
+            v as i64
+        }),
         Err(_) => err(line, format!("not an immediate: `{t}`")),
     }
 }
@@ -224,7 +236,7 @@ fn sew_from_suffix(s: &str, line: usize) -> Result<Sew, AsmError> {
 
 /// Strips a trailing `v0.t` mask token; returns (operands, masked).
 fn strip_mask(mut ops: Vec<String>) -> (Vec<String>, bool) {
-    if ops.last().map(|s| s.as_str()) == Some("v0.t") {
+    if ops.last().is_some_and(|s| s.eq_ignore_ascii_case("v0.t")) {
         ops.pop();
         (ops, true)
     } else {
@@ -457,7 +469,7 @@ fn parse_instr(
             };
             int_ri(op, &ops)
         }
-        "lb" | "lh" | "lw" | "ld" | "lbu" | "lhu" | "lwu" => {
+        "lb" | "lh" | "lw" | "ld" | "lbu" | "lhu" | "lwu" | "ldu" => {
             need(2)?;
             let (width, signed) = match m {
                 "lb" => (Width::B, true),
@@ -466,7 +478,8 @@ fn parse_instr(
                 "ld" => (Width::D, true),
                 "lbu" => (Width::B, false),
                 "lhu" => (Width::H, false),
-                _ => (Width::W, false),
+                "lwu" => (Width::W, false),
+                _ => (Width::D, false),
             };
             let (offset, rs1) = mem_operand(&ops[1], ln)?;
             Ok(Instr::Load {
@@ -844,7 +857,8 @@ fn parse_vector(m: &str, ops: Vec<String>, ln: usize) -> Result<Instr, AsmError>
         if ops.len() < 3 {
             return err(ln, "vsetvli expects rd, rs1, e<sew>, ...");
         }
-        let sew_tok = ops[2].strip_prefix('e').ok_or_else(|| AsmError {
+        let vtype = ops[2].to_ascii_lowercase();
+        let sew_tok = vtype.strip_prefix('e').ok_or_else(|| AsmError {
             line: ln,
             message: format!("bad vtype `{}`", ops[2]),
         })?;
@@ -1125,7 +1139,7 @@ fn parse_vector(m: &str, ops: Vec<String>, ln: usize) -> Result<Instr, AsmError>
         }
         "vmerge" => {
             // vmerge.vvm/vxm/vim vd, vs2, <operand>, v0
-            if ops.len() == 4 && ops[3] == "v0" {
+            if ops.len() == 4 && ops[3].eq_ignore_ascii_case("v0") {
                 Ok(Instr::VMerge {
                     vd: vreg(&ops[0], ln)?,
                     vs2: vreg(&ops[1], ln)?,

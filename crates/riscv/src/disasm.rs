@@ -1,0 +1,725 @@
+//! Disassembler: renders a [`Program`] back into the textual dialect
+//! [`crate::asm::assemble`] accepts.
+//!
+//! The output is *canonical*: numeric register names (`x5`, `f3`, `v2`),
+//! decimal immediates, explicit two-operand `jal`, and one instruction per
+//! line. Labels are reconstructed from the program's label map; branch or
+//! jump targets without a named label get a synthetic `L{index}` label.
+//!
+//! The round-trip law `assemble(&disassemble(p)?) == Ok(p)` holds for every
+//! program the assembler can produce (see `tests/asm_roundtrip.rs`). A few
+//! [`Instr`] states are *not* assembler-images — e.g. `OpImm` with a
+//! multiply op, or a byte-width [`Instr::Amo`] — and disassembling them
+//! reports a [`DisasmError`] instead of emitting text that would not parse
+//! back.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::instr::{
+    AmoOp, BranchCond, FCmpOp, FpOp, Instr, IntOp, Precision, Sew, VAddrMode, VCmpOp, VFpOp,
+    VIntOp, VOperand, VRedOp, Width,
+};
+use crate::program::Program;
+
+/// Disassembly error: the instruction has no spelling in the dialect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmError {
+    /// Instruction index within the program.
+    pub index: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DisasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instruction {}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for DisasmError {}
+
+fn derr<T>(index: usize, message: impl Into<String>) -> Result<T, DisasmError> {
+    Err(DisasmError {
+        index,
+        message: message.into(),
+    })
+}
+
+fn int_op_mnemonic(op: IntOp) -> &'static str {
+    match op {
+        IntOp::Add => "add",
+        IntOp::Sub => "sub",
+        IntOp::And => "and",
+        IntOp::Or => "or",
+        IntOp::Xor => "xor",
+        IntOp::Sll => "sll",
+        IntOp::Srl => "srl",
+        IntOp::Sra => "sra",
+        IntOp::Slt => "slt",
+        IntOp::Sltu => "sltu",
+        IntOp::Mul => "mul",
+        IntOp::Mulh => "mulh",
+        IntOp::Div => "div",
+        IntOp::Divu => "divu",
+        IntOp::Rem => "rem",
+        IntOp::Remu => "remu",
+    }
+}
+
+/// Immediate-form mnemonic, or `None` for ops with no `i` spelling.
+fn int_imm_mnemonic(op: IntOp) -> Option<&'static str> {
+    Some(match op {
+        IntOp::Add => "addi",
+        IntOp::And => "andi",
+        IntOp::Or => "ori",
+        IntOp::Xor => "xori",
+        IntOp::Sll => "slli",
+        IntOp::Srl => "srli",
+        IntOp::Sra => "srai",
+        IntOp::Slt => "slti",
+        IntOp::Sltu => "sltiu",
+        _ => return None,
+    })
+}
+
+fn amo_name(op: AmoOp) -> &'static str {
+    match op {
+        AmoOp::Add => "add",
+        AmoOp::Swap => "swap",
+        AmoOp::Min => "min",
+        AmoOp::Max => "max",
+        AmoOp::And => "and",
+        AmoOp::Or => "or",
+        AmoOp::Xor => "xor",
+    }
+}
+
+fn precision_suffix(p: Precision) -> &'static str {
+    match p {
+        Precision::S => "s",
+        Precision::D => "d",
+    }
+}
+
+fn sew_bits(s: Sew) -> u32 {
+    s.bytes() * 8
+}
+
+/// `.vv`-family suffix selected by the operand kind.
+fn vkind(operand: &VOperand) -> &'static str {
+    match operand {
+        VOperand::Vector(_) => "vv",
+        VOperand::Scalar(_) => "vx",
+        VOperand::Imm(_) => "vi",
+        VOperand::Float(_) => "vf",
+    }
+}
+
+fn voperand(operand: &VOperand) -> String {
+    match operand {
+        VOperand::Vector(r) => format!("v{r}"),
+        VOperand::Scalar(r) => format!("x{r}"),
+        VOperand::Imm(i) => format!("{i}"),
+        VOperand::Float(r) => format!("f{r}"),
+    }
+}
+
+fn mask_suffix(masked: bool) -> &'static str {
+    if masked {
+        ", v0.t"
+    } else {
+        ""
+    }
+}
+
+/// Renders one instruction, resolving branch targets through `label_for`.
+fn render(
+    idx: usize,
+    instr: &Instr,
+    label_for: &dyn Fn(usize) -> String,
+) -> Result<String, DisasmError> {
+    let s = match instr {
+        Instr::Li { rd, imm } => format!("li x{rd}, {imm}"),
+        Instr::Lui { rd, imm } => format!("lui x{rd}, {imm}"),
+        Instr::Op { op, rd, rs1, rs2 } => {
+            format!("{} x{rd}, x{rs1}, x{rs2}", int_op_mnemonic(*op))
+        }
+        Instr::OpImm { op, rd, rs1, imm } => match int_imm_mnemonic(*op) {
+            Some(m) => format!("{m} x{rd}, x{rs1}, {imm}"),
+            None => {
+                return derr(
+                    idx,
+                    format!("`{op:?}` has no immediate form in the dialect"),
+                )
+            }
+        },
+        Instr::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let m = match (width, signed) {
+                (Width::B, true) => "lb",
+                (Width::H, true) => "lh",
+                (Width::W, true) => "lw",
+                (Width::D, true) => "ld",
+                (Width::B, false) => "lbu",
+                (Width::H, false) => "lhu",
+                (Width::W, false) => "lwu",
+                (Width::D, false) => "ldu",
+            };
+            format!("{m} x{rd}, {offset}(x{rs1})")
+        }
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let m = match width {
+                Width::B => "sb",
+                Width::H => "sh",
+                Width::W => "sw",
+                Width::D => "sd",
+            };
+            format!("{m} x{rs2}, {offset}(x{rs1})")
+        }
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            let m = match cond {
+                BranchCond::Eq => "beq",
+                BranchCond::Ne => "bne",
+                BranchCond::Lt => "blt",
+                BranchCond::Ge => "bge",
+                BranchCond::Ltu => "bltu",
+                BranchCond::Geu => "bgeu",
+            };
+            format!("{m} x{rs1}, x{rs2}, {}", label_for(*target))
+        }
+        Instr::Jal { rd, target } => format!("jal x{rd}, {}", label_for(*target)),
+        Instr::Jalr { rd, rs1, offset } => format!("jalr x{rd}, {offset}(x{rs1})"),
+        Instr::Amo {
+            op,
+            width,
+            rd,
+            rs2,
+            rs1,
+        } => {
+            let w = match width {
+                Width::W => "w",
+                Width::D => "d",
+                _ => return derr(idx, "AMO width must be W or D"),
+            };
+            format!("amo{}.{w} x{rd}, x{rs2}, (x{rs1})", amo_name(*op))
+        }
+        Instr::Fence => "fence".to_string(),
+        Instr::Halt => "halt".to_string(),
+
+        Instr::FLoad {
+            precision,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let m = match precision {
+                Precision::S => "flw",
+                Precision::D => "fld",
+            };
+            format!("{m} f{rd}, {offset}(x{rs1})")
+        }
+        Instr::FStore {
+            precision,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let m = match precision {
+                Precision::S => "fsw",
+                Precision::D => "fsd",
+            };
+            format!("{m} f{rs2}, {offset}(x{rs1})")
+        }
+        Instr::FOp {
+            op,
+            precision,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let p = precision_suffix(*precision);
+            match op {
+                FpOp::Sqrt | FpOp::Exp => {
+                    if *rs2 != 0 {
+                        return derr(idx, format!("unary `{op:?}` requires rs2 = 0"));
+                    }
+                    let m = if *op == FpOp::Sqrt { "fsqrt" } else { "fexp" };
+                    format!("{m}.{p} f{rd}, f{rs1}")
+                }
+                _ => {
+                    let m = match op {
+                        FpOp::Add => "fadd",
+                        FpOp::Sub => "fsub",
+                        FpOp::Mul => "fmul",
+                        FpOp::Div => "fdiv",
+                        FpOp::Min => "fmin",
+                        FpOp::Max => "fmax",
+                        FpOp::Sgnj => "fsgnj",
+                        FpOp::Sgnjn => "fsgnjn",
+                        FpOp::Sgnjx => "fsgnjx",
+                        FpOp::Sqrt | FpOp::Exp => unreachable!(),
+                    };
+                    format!("{m}.{p} f{rd}, f{rs1}, f{rs2}")
+                }
+            }
+        }
+        Instr::FMadd {
+            precision,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => format!(
+            "fmadd.{} f{rd}, f{rs1}, f{rs2}, f{rs3}",
+            precision_suffix(*precision)
+        ),
+        Instr::FCmp {
+            op,
+            precision,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let m = match op {
+                FCmpOp::Eq => "feq",
+                FCmpOp::Lt => "flt",
+                FCmpOp::Le => "fle",
+            };
+            format!("{m}.{} x{rd}, f{rs1}, f{rs2}", precision_suffix(*precision))
+        }
+        Instr::FCvtFromInt {
+            precision,
+            rd,
+            rs1,
+            signed,
+        } => {
+            let from = if *signed { "l" } else { "lu" };
+            format!("fcvt.{}.{from} f{rd}, x{rs1}", precision_suffix(*precision))
+        }
+        Instr::FCvtToInt {
+            precision,
+            rd,
+            rs1,
+            signed,
+        } => {
+            let to = if *signed { "l" } else { "lu" };
+            format!("fcvt.{to}.{} x{rd}, f{rs1}", precision_suffix(*precision))
+        }
+        Instr::FMvToInt { precision, rd, rs1 } => {
+            let w = match precision {
+                Precision::S => "w",
+                Precision::D => "d",
+            };
+            format!("fmv.x.{w} x{rd}, f{rs1}")
+        }
+        Instr::FMvFromInt { precision, rd, rs1 } => {
+            let w = match precision {
+                Precision::S => "w",
+                Precision::D => "d",
+            };
+            format!("fmv.{w}.x f{rd}, x{rs1}")
+        }
+        Instr::FCvtPrec { to, rd, rs1 } => {
+            let m = match to {
+                Precision::D => "fcvt.d.s",
+                Precision::S => "fcvt.s.d",
+            };
+            format!("{m} f{rd}, f{rs1}")
+        }
+
+        Instr::Vsetvli { rd, rs1, sew } => {
+            format!("vsetvli x{rd}, x{rs1}, e{}", sew_bits(*sew))
+        }
+        Instr::VLoad {
+            eew,
+            vd,
+            rs1,
+            mode,
+            masked,
+        } => {
+            let e = sew_bits(*eew);
+            let msk = mask_suffix(*masked);
+            match mode {
+                VAddrMode::Unit => format!("vle{e}.v v{vd}, (x{rs1}){msk}"),
+                VAddrMode::Strided(r) => format!("vlse{e}.v v{vd}, (x{rs1}), x{r}{msk}"),
+                VAddrMode::Indexed(r) => format!("vluxei{e}.v v{vd}, (x{rs1}), v{r}{msk}"),
+            }
+        }
+        Instr::VStore {
+            eew,
+            vs3,
+            rs1,
+            mode,
+            masked,
+        } => {
+            let e = sew_bits(*eew);
+            let msk = mask_suffix(*masked);
+            match mode {
+                VAddrMode::Unit => format!("vse{e}.v v{vs3}, (x{rs1}){msk}"),
+                VAddrMode::Strided(r) => format!("vsse{e}.v v{vs3}, (x{rs1}), x{r}{msk}"),
+                VAddrMode::Indexed(r) => format!("vsuxei{e}.v v{vs3}, (x{rs1}), v{r}{msk}"),
+            }
+        }
+        Instr::VIntOp {
+            op,
+            vd,
+            vs2,
+            operand,
+            masked,
+        } => {
+            let m = match op {
+                VIntOp::Add => "vadd",
+                VIntOp::Sub => "vsub",
+                VIntOp::Mul => "vmul",
+                VIntOp::And => "vand",
+                VIntOp::Or => "vor",
+                VIntOp::Xor => "vxor",
+                VIntOp::Sll => "vsll",
+                VIntOp::Srl => "vsrl",
+                VIntOp::Min => "vmin",
+                VIntOp::Max => "vmax",
+            };
+            format!(
+                "{m}.{} v{vd}, v{vs2}, {}{}",
+                vkind(operand),
+                voperand(operand),
+                mask_suffix(*masked)
+            )
+        }
+        Instr::VFpOp {
+            op,
+            vd,
+            vs2,
+            operand,
+            masked,
+        } => {
+            let msk = mask_suffix(*masked);
+            match op {
+                VFpOp::Macc => format!(
+                    "vfmacc.{} v{vd}, {}, v{vs2}{msk}",
+                    vkind(operand),
+                    voperand(operand)
+                ),
+                VFpOp::Exp => {
+                    if *operand != VOperand::Imm(0) {
+                        return derr(idx, "vfexp requires operand Imm(0)");
+                    }
+                    format!("vfexp.v v{vd}, v{vs2}{msk}")
+                }
+                _ => {
+                    let m = match op {
+                        VFpOp::Add => "vfadd",
+                        VFpOp::Sub => "vfsub",
+                        VFpOp::Mul => "vfmul",
+                        VFpOp::Div => "vfdiv",
+                        VFpOp::Min => "vfmin",
+                        VFpOp::Max => "vfmax",
+                        VFpOp::Macc | VFpOp::Exp => unreachable!(),
+                    };
+                    format!(
+                        "{m}.{} v{vd}, v{vs2}, {}{msk}",
+                        vkind(operand),
+                        voperand(operand)
+                    )
+                }
+            }
+        }
+        Instr::VRed { op, vd, vs2, vs1 } => {
+            let m = match op {
+                VRedOp::Sum => "vredsum",
+                VRedOp::Max => "vredmax",
+                VRedOp::Min => "vredmin",
+                VRedOp::FSum => "vfredusum",
+                VRedOp::FMax => "vfredmax",
+                VRedOp::FMin => "vfredmin",
+            };
+            format!("{m}.vs v{vd}, v{vs2}, v{vs1}")
+        }
+        Instr::VCmp {
+            op,
+            vd,
+            vs2,
+            operand,
+        } => {
+            let m = match op {
+                VCmpOp::Eq => "vmseq",
+                VCmpOp::Ne => "vmsne",
+                VCmpOp::Lt => "vmslt",
+                VCmpOp::Le => "vmsle",
+                VCmpOp::Gt => "vmsgt",
+                VCmpOp::Ge => "vmsge",
+                VCmpOp::FLt => "vmflt",
+                VCmpOp::FLe => "vmfle",
+                VCmpOp::FEq => "vmfeq",
+                VCmpOp::FGe => "vmfge",
+            };
+            format!(
+                "{m}.{} v{vd}, v{vs2}, {}",
+                vkind(operand),
+                voperand(operand)
+            )
+        }
+        Instr::VMv { vd, operand } => match operand {
+            VOperand::Vector(r) => format!("vmv.v.v v{vd}, v{r}"),
+            VOperand::Scalar(r) => format!("vmv.v.x v{vd}, x{r}"),
+            VOperand::Imm(i) => format!("vmv.v.i v{vd}, {i}"),
+            VOperand::Float(r) => format!("vfmv.v.f v{vd}, f{r}"),
+        },
+        Instr::VMvToScalar { rd, vs2 } => format!("vmv.x.s x{rd}, v{vs2}"),
+        Instr::VMvFromScalar { vd, rs1 } => format!("vmv.s.x v{vd}, x{rs1}"),
+        Instr::VFMvToScalar { rd, vs2 } => format!("vfmv.f.s f{rd}, v{vs2}"),
+        Instr::Vid { vd, masked } => format!("vid.v v{vd}{}", mask_suffix(*masked)),
+        Instr::VMerge { vd, vs2, operand } => {
+            let k = match operand {
+                VOperand::Vector(_) => "vvm",
+                VOperand::Scalar(_) => "vxm",
+                VOperand::Imm(_) => "vim",
+                VOperand::Float(_) => "vfm",
+            };
+            format!("vmerge.{k} v{vd}, v{vs2}, {}, v0", voperand(operand))
+        }
+        Instr::VSlidedown { vd, vs2, operand } => format!(
+            "vslidedown.{} v{vd}, v{vs2}, {}",
+            vkind(operand),
+            voperand(operand)
+        ),
+        Instr::VAmo {
+            op,
+            eew,
+            vd,
+            rs1,
+            vs2,
+            masked,
+        } => format!(
+            "vamo{}ei{}.v v{vd}, (x{rs1}), v{vs2}{}",
+            amo_name(*op),
+            sew_bits(*eew),
+            mask_suffix(*masked)
+        ),
+    };
+    Ok(s)
+}
+
+/// Disassembles a program into canonical dialect text.
+///
+/// Every label in the program's label map is emitted on its own line at its
+/// index (indices past the last instruction included); branch/jump targets
+/// not covered by a named label get a synthetic `L{index}` label. Re-running
+/// [`crate::asm::assemble`] on the output reconstructs an equal [`Program`]
+/// (instructions *and* label map).
+///
+/// # Errors
+/// Returns a [`DisasmError`] for instruction states the dialect cannot
+/// spell (see the module docs) or for branch targets outside
+/// `0..=program.len()`.
+pub fn disassemble(program: &Program) -> Result<String, DisasmError> {
+    let len = program.len();
+
+    // Label names per index, sorted for deterministic output.
+    let mut at: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut names: HashSet<String> = HashSet::new();
+    for (name, &index) in program.labels() {
+        at.entry(index).or_default().push(name.clone());
+        names.insert(name.clone());
+    }
+    for v in at.values_mut() {
+        v.sort();
+    }
+
+    // Synthesize labels for uncovered branch/jump targets.
+    for (idx, instr) in program.instrs().iter().enumerate() {
+        let target = match instr {
+            Instr::Branch { target, .. } | Instr::Jal { target, .. } => *target,
+            _ => continue,
+        };
+        if target > len {
+            return derr(idx, format!("branch target {target} out of range"));
+        }
+        if at.contains_key(&target) {
+            continue;
+        }
+        let mut name = format!("L{target}");
+        let mut bump = 0usize;
+        while names.contains(&name) {
+            name = format!("L{target}_{bump}");
+            bump += 1;
+        }
+        names.insert(name.clone());
+        at.insert(target, vec![name]);
+    }
+
+    let label_for = |target: usize| -> String {
+        at.get(&target)
+            .and_then(|v| v.first())
+            .cloned()
+            .unwrap_or_else(|| format!("L{target}"))
+    };
+
+    let mut out = String::new();
+    for (idx, instr) in program.instrs().iter().enumerate() {
+        if let Some(labels) = at.get(&idx) {
+            for l in labels {
+                out.push_str(l);
+                out.push_str(":\n");
+            }
+        }
+        out.push_str("    ");
+        out.push_str(&render(idx, instr, &label_for)?);
+        out.push('\n');
+    }
+    // Labels at or past the end of the program (e.g. a `done:` fall-through
+    // target after the last instruction).
+    for (&index, labels) in at.range(len..) {
+        let _ = index;
+        for l in labels {
+            out.push_str(l);
+            out.push_str(":\n");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn roundtrip(src: &str) {
+        let p = assemble(src).expect("assemble");
+        let text = disassemble(&p).expect("disassemble");
+        let p2 = assemble(&text).unwrap_or_else(|e| panic!("reassemble failed: {e:?}\n{text}"));
+        assert_eq!(p, p2, "round-trip mismatch:\n{text}");
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        roundtrip(
+            "start: li x3, 256
+             addi x4, x3, -8
+             sub  x5, x0, x4
+             ld   x6, 8(x5)
+             ldu  x7, 0(x5)
+             sd   x6, 0(x3)
+             amoadd.d x8, x6, (x3)
+             beq  x6, x0, start
+             jal  x1, end
+             jalr x0, 0(x1)
+             fence
+             end: halt",
+        );
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        roundtrip(
+            "fld f1, 8(x2)
+             fadd.d f2, f1, f1
+             fmadd.d f3, f1, f2, f2
+             fsqrt.d f4, f3
+             fexp.d f5, f4
+             feq.d x5, f4, f5
+             fcvt.l.d x6, f5
+             fcvt.d.l f6, x6
+             fcvt.d.lu f7, x6
+             fmv.x.d x7, f7
+             fmv.d.x f8, x7
+             fcvt.s.d f9, f8
+             fcvt.d.s f10, f9
+             fsd f10, 0(x2)",
+        );
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        roundtrip(
+            "vsetvli x5, x0, e32
+             vle32.v v2, (x10)
+             vlse64.v v3, (x11), x6
+             vluxei32.v v4, (x12), v2
+             vadd.vx v5, v2, x7
+             vfmacc.vf v6, f10, v5
+             vfexp.v v7, v6
+             vmslt.vx v0, v2, x8
+             vadd.vi v8, v5, 3, v0.t
+             vmerge.vxm v9, v8, x9, v0
+             vredsum.vs v10, v8, v9
+             vfredusum.vs v11, v6, v7
+             vslidedown.vi v12, v10, 1
+             vid.v v13
+             vmv.v.i v14, -5
+             vmv.x.s x13, v14
+             vmv.s.x v15, x13
+             vfmv.f.s f11, v11
+             vfmv.v.f v16, f11
+             vamoaddei32.v v17, (x14), v4, v0.t
+             vse32.v v17, (x14)",
+        );
+    }
+
+    #[test]
+    fn synthetic_labels_for_unnamed_targets() {
+        // Branch target index 0 has no label in the source map after
+        // assembling... it does (`start` missing here): force the case by
+        // constructing the program directly.
+        let p = Program::new(
+            vec![
+                Instr::Li { rd: 5, imm: 1 },
+                Instr::Branch {
+                    cond: BranchCond::Ne,
+                    rs1: 5,
+                    rs2: 0,
+                    target: 0,
+                },
+                Instr::Halt,
+            ],
+            std::collections::HashMap::new(),
+        );
+        let text = disassemble(&p).expect("disassemble");
+        assert!(text.contains("L0:"), "missing synthetic label:\n{text}");
+        let p2 = assemble(&text).expect("reassemble");
+        assert_eq!(p.instrs(), p2.instrs());
+        assert_eq!(p2.label("L0"), Some(0));
+    }
+
+    #[test]
+    fn non_representable_states_error() {
+        let p = Program::new(
+            vec![Instr::OpImm {
+                op: IntOp::Mul,
+                rd: 1,
+                rs1: 2,
+                imm: 3,
+            }],
+            std::collections::HashMap::new(),
+        );
+        let e = disassemble(&p).expect_err("muli must not disassemble");
+        assert_eq!(e.index, 0);
+
+        let p = Program::new(
+            vec![Instr::Amo {
+                op: AmoOp::Add,
+                width: Width::B,
+                rd: 1,
+                rs2: 2,
+                rs1: 3,
+            }],
+            std::collections::HashMap::new(),
+        );
+        assert!(disassemble(&p).is_err());
+    }
+}

@@ -331,7 +331,7 @@ pub fn step(
             Effect::Alu
         }
         Instr::Lui { rd, imm } => {
-            ctx.write_x(*rd, (*imm << 12) as u64);
+            ctx.write_x(*rd, (*imm as u64).wrapping_shl(12));
             Effect::Alu
         }
         Instr::Op { op, rd, rs1, rs2 } => {
@@ -655,7 +655,7 @@ pub fn step(
                             if !mask_bit(&ctx.v[0], i) {
                                 continue;
                             }
-                            let addr = base + i as u64 * eb as u64;
+                            let addr = base.wrapping_add(i as u64 * eb as u64);
                             let mut buf = [0u8; 8];
                             mem.load(addr, &mut buf[..eb as usize]);
                             set_elem(&mut out, i, *eew, u64::from_le_bytes(buf));
@@ -736,7 +736,7 @@ pub fn step(
                         if !mask_bit(&ctx.v[0], i) {
                             continue;
                         }
-                        let addr = base + i as u64 * eb as u64;
+                        let addr = base.wrapping_add(i as u64 * eb as u64);
                         let val = get_elem(&src, i, *eew).to_le_bytes();
                         mem.store(addr, &val[..eb as usize]);
                         memops.push(MemOp {
@@ -1008,10 +1008,11 @@ pub fn step(
             let src = ctx.v[*vs2 as usize];
             let mut out = ctx.v[*vd as usize];
             for i in 0..vl {
-                let val = if i + off < vl {
-                    get_elem(&src, i + off, sew)
-                } else {
-                    0
+                // `off` comes from an untrusted register value; a checked add
+                // keeps huge slide amounts well-defined (they read zeros).
+                let val = match i.checked_add(off) {
+                    Some(j) if j < vl => get_elem(&src, j, sew),
+                    _ => 0,
                 };
                 set_elem(&mut out, i, sew, val);
             }

@@ -10,6 +10,10 @@
 //!   (RVV 256-bit as configured in Table IV: "256-bit vector units");
 //! * [`asm`] — a text assembler with labels, ABI register names, and the
 //!   usual pseudo-instructions (`li`, `mv`, `j`, `ret`, `halt`);
+//! * [`disasm`] — the inverse: canonical text from a [`Program`], with
+//!   label reconstruction, satisfying `assemble(disassemble(p)) == p`;
+//! * [`gen`] — seeded random instruction/program generators used by the
+//!   round-trip and differential property tests (and the fuzz-style CLI);
 //! * [`exec`] — a functional executor: [`exec::ThreadCtx`] holds one
 //!   µthread's architectural state; [`exec::step`] executes one instruction
 //!   against a [`exec::MemIface`] and returns an [`exec::Effect`] that the
@@ -49,11 +53,14 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod disasm;
 pub mod exec;
+pub mod gen;
 pub mod instr;
 pub mod program;
 
 pub use asm::{assemble, AsmError};
+pub use disasm::{disassemble, DisasmError};
 pub use exec::{step, Effect, ExecError, MemIface, MemOp, ThreadCtx};
 pub use instr::Instr;
 pub use program::Program;

@@ -57,6 +57,14 @@ impl Program {
         self.labels.get(name).copied()
     }
 
+    /// The full label map (name → instruction index).
+    ///
+    /// Used by the disassembler to reconstruct label definitions; indices may
+    /// equal [`Self::len`] for labels pointing past the last instruction.
+    pub fn labels(&self) -> &HashMap<String, usize> {
+        &self.labels
+    }
+
     /// Scans the program for its architectural register footprint.
     ///
     /// Memory-bound kernels use few registers (§III-D); the NDP controller

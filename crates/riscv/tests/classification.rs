@@ -1,0 +1,69 @@
+//! Exhaustive classification tests for [`Instr::is_mem`] and
+//! [`Instr::is_vector`].
+//!
+//! The match below lists **every** variant explicitly — no `_` arm — so
+//! adding an `Instr` variant without deciding its memory/vector
+//! classification fails to compile here, and [`gen::all_variants`] (one
+//! instance per variant) drives the runtime check over each one.
+
+use m2ndp_riscv::gen::all_variants;
+use m2ndp_riscv::Instr;
+
+/// The expected classification, spelled out per variant. Compilation of
+/// this match is the real test: extend it (and `gen::all_variants`) when
+/// adding a variant.
+fn expected(instr: &Instr) -> (bool, bool) {
+    // (is_mem, is_vector)
+    match instr {
+        Instr::Li { .. } | Instr::Lui { .. } | Instr::Op { .. } | Instr::OpImm { .. } => {
+            (false, false)
+        }
+        Instr::Load { .. } | Instr::Store { .. } | Instr::Amo { .. } => (true, false),
+        Instr::Branch { .. } | Instr::Jal { .. } | Instr::Jalr { .. } => (false, false),
+        Instr::Fence | Instr::Halt => (false, false),
+        Instr::FLoad { .. } | Instr::FStore { .. } => (true, false),
+        Instr::FOp { .. }
+        | Instr::FMadd { .. }
+        | Instr::FCmp { .. }
+        | Instr::FCvtFromInt { .. }
+        | Instr::FCvtToInt { .. }
+        | Instr::FMvToInt { .. }
+        | Instr::FMvFromInt { .. }
+        | Instr::FCvtPrec { .. } => (false, false),
+        Instr::Vsetvli { .. } => (false, true),
+        Instr::VLoad { .. } | Instr::VStore { .. } | Instr::VAmo { .. } => (true, true),
+        Instr::VIntOp { .. }
+        | Instr::VFpOp { .. }
+        | Instr::VCmp { .. }
+        | Instr::VMerge { .. }
+        | Instr::VSlidedown { .. }
+        | Instr::VRed { .. }
+        | Instr::VMv { .. }
+        | Instr::VMvToScalar { .. }
+        | Instr::VMvFromScalar { .. }
+        | Instr::VFMvToScalar { .. }
+        | Instr::Vid { .. } => (false, true),
+    }
+}
+
+#[test]
+fn classification_covers_every_variant() {
+    let variants = all_variants();
+    assert_eq!(variants.len(), 37, "one instance per Instr variant");
+    for instr in &variants {
+        let (mem, vector) = expected(instr);
+        assert_eq!(instr.is_mem(), mem, "is_mem for {instr:?}");
+        assert_eq!(instr.is_vector(), vector, "is_vector for {instr:?}");
+    }
+}
+
+#[test]
+fn memory_and_vector_sets_have_the_expected_sizes() {
+    let variants = all_variants();
+    let mem = variants.iter().filter(|i| i.is_mem()).count();
+    let vector = variants.iter().filter(|i| i.is_vector()).count();
+    // 8 memory forms: Load, Store, Amo, FLoad, FStore, VLoad, VStore, VAmo.
+    assert_eq!(mem, 8);
+    // 15 vector forms (Table IV's 256-bit unit plus the vector-AMO ext).
+    assert_eq!(vector, 15);
+}

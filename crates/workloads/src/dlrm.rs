@@ -6,14 +6,13 @@
 //! request's output vector and gathers the matching slice of every looked-up
 //! embedding row — so µthreads never contend and no atomics are needed.
 
-use m2ndp_core::engine::argblock;
 use m2ndp_core::{KernelSpec, LaunchArgs};
 use m2ndp_mem::MainMemory;
 use m2ndp_riscv::assemble;
 use m2ndp_sim::rng::{seeded, Zipf};
 use rand::Rng;
 
-use crate::DATA_BASE;
+use crate::{programs, DATA_BASE};
 
 /// DLRM SLS configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,44 +107,10 @@ pub fn generate(cfg: DlrmConfig, mem: &mut MainMemory) -> DlrmData {
     }
 }
 
-/// Builds the SLS kernel. User args: `[0]=table_base, [1]=indices_base,
-/// [2]=row_bytes, [3]=lookups`.
+/// Builds the SLS kernel ([`programs::DLRM_SLS`]). User args:
+/// `[0]=table_base, [1]=indices_base, [2]=row_bytes, [3]=lookups`.
 pub fn kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let body = assemble(&format!(
-        "ld x5, {a0}(x3)      // table base
-         ld x6, {a1}(x3)      // indices base
-         ld x7, {a2}(x3)      // row bytes
-         ld x8, {a3}(x3)      // lookups
-         divu x9, x2, x7      // request index
-         remu x10, x2, x7     // byte offset within the output row
-         // index cursor = indices + req*lookups*8
-         mul x11, x9, x8
-         slli x11, x11, 3
-         add x11, x6, x11
-         vsetvli x0, x0, e32, m1
-         vmv.v.i v4, 0        // 8-lane accumulator
-         mv x12, x8
-         lk_loop:
-         beqz x12, done
-         ld x13, (x11)        // embedding row index
-         mul x14, x13, x7
-         add x14, x14, x10    // + our slice offset
-         add x14, x5, x14
-         vle32.v v1, (x14)    // 32 B slice of the row
-         vfadd.vv v4, v4, v1
-         addi x11, x11, 8
-         addi x12, x12, -1
-         j lk_loop
-         done:
-         vse32.v v4, (x1)     // output slice (pool region)
-         halt",
-        a0 = a(0),
-        a1 = a(1),
-        a2 = a(2),
-        a3 = a(3),
-    ))
-    .expect("dlrm kernel assembles");
+    let body = assemble(programs::DLRM_SLS).expect("dlrm kernel assembles");
     KernelSpec::body_only("dlrm_sls", body)
 }
 

@@ -9,14 +9,13 @@
 //! §III-G: each body iteration re-spawns all µthreads, giving the
 //! inter-iteration synchronization the algorithm needs.
 
-use m2ndp_core::engine::argblock;
 use m2ndp_core::{KernelSpec, LaunchArgs};
 use m2ndp_mem::MainMemory;
 use m2ndp_riscv::assemble;
 use m2ndp_sim::rng::seeded;
 use rand::Rng;
 
-use crate::DATA_BASE;
+use crate::{programs, DATA_BASE};
 
 /// Graph generation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,22 +180,7 @@ pub const DAMPING: f32 = 0.85;
 /// Pool region: the contrib array. User args: `[0]=rank, [1]=outdeg,
 /// [2]=contrib` bases.
 pub fn pgrank_contrib_kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let body = assemble(&format!(
-        "ld x5, {}(x3)       // rank base
-         ld x6, {}(x3)       // outdeg base
-         vsetvli x0, x0, e32, m1
-         add x7, x5, x2
-         vle32.v v1, (x7)
-         add x8, x6, x2
-         vle32.v v2, (x8)
-         vfdiv.vv v3, v1, v2
-         vse32.v v3, (x1)    // contrib (pool region)
-         halt",
-        a(0),
-        a(1)
-    ))
-    .expect("pgrank contrib assembles");
+    let body = assemble(programs::PGRANK_CONTRIB).expect("pgrank contrib assembles");
     KernelSpec::body_only("pgrank_contrib", body)
 }
 
@@ -205,61 +189,7 @@ pub fn pgrank_contrib_kernel() -> KernelSpec {
 /// User args: `[0]=rcol, [1]=contrib, [2]=new_rank, [3]=nodes,
 /// [4]=base_term_bits (f32), [5]=damping_bits (f32)`.
 pub fn pgrank_gather_kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let body = assemble(&format!(
-        "ld x5, {a0}(x3)
-         ld x6, {a1}(x3)
-         ld x7, {a2}(x3)
-         ld x9, {a3}(x3)
-         ld x20, {a4}(x3)
-         fmv.w.x fa1, x20     // base term (1-d)/N
-         ld x20, {a5}(x3)
-         fmv.w.x fa2, x20     // damping d
-         srli x10, x2, 3
-         li x11, 4
-         mv x19, x1
-         row_loop:
-         bge x10, x9, done
-         beqz x11, done
-         ld x12, (x19)
-         ld x13, 8(x19)
-         sub x14, x13, x12
-         vsetvli x0, x0, e32, m1
-         vmv.v.i v4, 0
-         nnz_loop:
-         blez x14, row_done
-         vsetvli x15, x14, e32, m1
-         slli x16, x12, 2
-         add x17, x5, x16
-         vle32.v v1, (x17)    // in-neighbour ids
-         vsll.vi v1, v1, 2
-         vluxei32.v v3, (x6), v1  // gather contribs
-         vfadd.vv v4, v4, v3
-         sub x14, x14, x15
-         add x12, x12, x15
-         j nnz_loop
-         row_done:
-         vsetvli x0, x0, e32, m1
-         vmv.v.i v5, 0
-         vfredusum.vs v6, v4, v5
-         vfmv.f.s fa0, v6
-         fmadd.s fa3, fa0, fa2, fa1   // new = d*sum + (1-d)/N
-         slli x16, x10, 2
-         add x17, x7, x16
-         fsw fa3, (x17)
-         addi x10, x10, 1
-         addi x19, x19, 8
-         addi x11, x11, -1
-         j row_loop
-         done: halt",
-        a0 = a(0),
-        a1 = a(1),
-        a2 = a(2),
-        a3 = a(3),
-        a4 = a(4),
-        a5 = a(5),
-    ))
-    .expect("pgrank gather assembles");
+    let body = assemble(programs::PGRANK_GATHER).expect("pgrank gather assembles");
     KernelSpec::body_only("pgrank_gather", body)
 }
 
@@ -336,51 +266,7 @@ pub fn pgrank_verify(data: &GraphData, mem: &MainMemory) -> Result<(), String> {
 /// `body_iterations = K`). Pool region: the forward row-pointer array.
 /// User args: `[0]=col, [1]=weight, [2]=dist, [3]=nodes`.
 pub fn sssp_kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let body = assemble(&format!(
-        "ld x5, {a0}(x3)      // col base
-         ld x6, {a1}(x3)      // weight base
-         ld x7, {a2}(x3)      // dist base
-         ld x9, {a3}(x3)      // nodes
-         srli x10, x2, 3
-         li x11, 4
-         mv x19, x1
-         row_loop:
-         bge x10, x9, done
-         beqz x11, done
-         slli x16, x10, 3
-         add x17, x7, x16
-         ld x20, (x17)        // dist[v]
-         li x21, {inf}
-         bge x20, x21, next_row   // unreachable: skip relaxations
-         ld x12, (x19)
-         ld x13, 8(x19)
-         edge_loop:
-         bge x12, x13, next_row
-         slli x16, x12, 2
-         add x17, x5, x16
-         lwu x22, (x17)       // neighbour c
-         add x18, x6, x16
-         lwu x23, (x18)       // weight
-         add x24, x20, x23    // candidate distance
-         slli x25, x22, 3
-         add x26, x7, x25
-         amomin.d x27, x24, (x26)
-         addi x12, x12, 1
-         j edge_loop
-         next_row:
-         addi x10, x10, 1
-         addi x19, x19, 8
-         addi x11, x11, -1
-         j row_loop
-         done: halt",
-        a0 = a(0),
-        a1 = a(1),
-        a2 = a(2),
-        a3 = a(3),
-        inf = INF,
-    ))
-    .expect("sssp kernel assembles");
+    let body = assemble(programs::SSSP).expect("sssp kernel assembles");
     KernelSpec::body_only("sssp", body)
 }
 

@@ -8,14 +8,13 @@
 //! same kernel runs with *threadblock-scoped* scratchpad, multiplying the
 //! init/flush traffic by the TB count — the effect Fig. 6b measures.
 
-use m2ndp_core::engine::argblock;
 use m2ndp_core::{KernelSpec, LaunchArgs};
 use m2ndp_mem::MainMemory;
 use m2ndp_riscv::assemble;
 use m2ndp_sim::rng::seeded;
 use rand::Rng;
 
-use crate::DATA_BASE;
+use crate::{programs, DATA_BASE};
 
 /// HISTO configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,61 +99,9 @@ pub fn generate(cfg: HistoConfig, mem: &mut MainMemory) -> HistoData {
 /// [3]=units` (units = real NDP units, or 1 for TB-scoped GPU launches,
 /// where every TB initializes/flushes its own scratchpad copy).
 pub fn kernel(cfg: HistoConfig) -> KernelSpec {
-    let a0 = (argblock::USER * 8) as u64; // nbins
-    let a1 = a0 + 8; // shift
-    let a2 = a0 + 16; // global bins
-    let a3 = a0 + 24; // units
-    let init = assemble(&format!(
-        "ld x4, (x3)          // spad base VA
-         ld x5, {a0}(x3)      // nbins
-         ld x6, 8(x3)         // init thread count (total slots)
-         ld x7, {a3}(x3)      // units
-         divu x8, x2, x7      // local id within unit
-         divu x9, x6, x7      // threads per unit
-         // stripe: for (i = local; i < nbins; i += per_unit) spad_bins[i]=0
-         mv x10, x8
-         zloop: bge x10, x5, zdone
-         slli x11, x10, 2
-         add x12, x4, x11
-         sw x0, (x12)
-         add x10, x10, x9
-         j zloop
-         zdone: halt"
-    ))
-    .expect("histo init assembles");
-    let body = assemble(&format!(
-        "vsetvli x0, x0, e32, m1
-         vle32.v v1, (x1)     // 8 input elements
-         ld x6, {a1}(x3)      // shift
-         vsrl.vx v1, v1, x6   // bin index
-         vsll.vi v1, v1, 2    // byte offset
-         ld x4, (x3)          // spad base (bins at offset 0)
-         vmv.v.i v2, 1
-         vamoaddei32.v v2, (x4), v1
-         halt"
-    ))
-    .expect("histo body assembles");
-    let fini = assemble(&format!(
-        "ld x4, (x3)
-         ld x5, {a0}(x3)      // nbins
-         ld x6, 8(x3)
-         ld x7, {a3}(x3)
-         divu x8, x2, x7      // local id
-         divu x9, x6, x7      // per-unit count
-         ld x13, {a2}(x3)     // global bins base
-         mv x10, x8
-         floop: bge x10, x5, fdone
-         slli x11, x10, 2
-         add x12, x4, x11
-         lw x14, (x12)
-         beqz x14, fskip      // nothing counted in this bin here
-         add x15, x13, x11
-         amoadd.w x14, x14, (x15)
-         fskip: add x10, x10, x9
-         j floop
-         fdone: halt"
-    ))
-    .expect("histo fini assembles");
+    let init = assemble(programs::HISTO_INIT).expect("histo init assembles");
+    let body = assemble(programs::HISTO_BODY).expect("histo body assembles");
+    let fini = assemble(programs::HISTO_FINI).expect("histo fini assembles");
     let spad_bytes = cfg.bins * 4;
     KernelSpec::from_programs("histo", Some(init), body, Some(fini), spad_bytes)
 }

@@ -10,14 +10,13 @@
 //! Entry layout (128 B stride): key at +0 (24 B), next pointer at +24
 //! (0 = end of chain), value at +32 (64 B).
 
-use m2ndp_core::engine::argblock;
 use m2ndp_core::{KernelSpec, LaunchArgs};
 use m2ndp_mem::MainMemory;
 use m2ndp_riscv::assemble;
 use m2ndp_sim::rng::{seeded, Zipf};
 use rand::Rng;
 
-use crate::DATA_BASE;
+use crate::{programs, DATA_BASE};
 
 /// Entry stride in the entry pool.
 pub const ENTRY_STRIDE: u64 = 128;
@@ -189,87 +188,7 @@ pub fn generate(cfg: KvConfig, mem: &mut MainMemory) -> KvData {
 /// address at output+64; misses write 0 there. A SET overwrites the value
 /// in place.
 pub fn kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let body = assemble(&format!(
-        "ld x5, {a0}(x3)      // &bucket head
-         ld x6, (x5)          // entry pointer
-         ld x7, {a1}(x3)      // key word 0
-         ld x8, {a2}(x3)      // key word 1
-         ld x9, {a3}(x3)      // key word 2
-         walk:
-         beqz x6, miss
-         ld x10, (x6)
-         bne x10, x7, next
-         ld x10, 8(x6)
-         bne x10, x8, next
-         ld x10, 16(x6)
-         bne x10, x9, next
-         // hit: x6 = entry
-         ld x11, {a5}(x3)     // op
-         bnez x11, do_set
-         // GET: copy 64 B value to the output slot
-         ld x12, {a4}(x3)
-         addi x13, x6, {voff}
-         vsetvli x0, x0, e64, m1
-         vle64.v v1, (x13)
-         vse64.v v1, (x12)
-         addi x13, x13, 32
-         addi x14, x12, 32
-         vle64.v v2, (x13)
-         vse64.v v2, (x14)
-         sd x6, 64(x12)       // found marker: entry address
-         halt
-         do_set:
-         // SET: overwrite value from args
-         ld x12, {a6}(x3)
-         sd x12, {voff}(x6)
-         ld x12, {a7}(x3)
-         sd x12, {voff8}(x6)
-         ld x12, {a8}(x3)
-         sd x12, {voff16}(x6)
-         ld x12, {a9}(x3)
-         sd x12, {voff24}(x6)
-         ld x12, {a10}(x3)
-         sd x12, {voff32}(x6)
-         ld x12, {a11}(x3)
-         sd x12, {voff40}(x6)
-         ld x12, {a12}(x3)
-         sd x12, {voff48}(x6)
-         ld x12, {a13}(x3)
-         sd x12, {voff56}(x6)
-         halt
-         next:
-         ld x6, {next}(x6)
-         j walk
-         miss:
-         ld x12, {a4}(x3)
-         sd x0, 64(x12)
-         halt",
-        a0 = a(0),
-        a1 = a(1),
-        a2 = a(2),
-        a3 = a(3),
-        a4 = a(4),
-        a5 = a(5),
-        a6 = a(6),
-        a7 = a(7),
-        a8 = a(8),
-        a9 = a(9),
-        a10 = a(10),
-        a11 = a(11),
-        a12 = a(12),
-        a13 = a(13),
-        voff = VALUE_OFF,
-        voff8 = VALUE_OFF + 8,
-        voff16 = VALUE_OFF + 16,
-        voff24 = VALUE_OFF + 24,
-        voff32 = VALUE_OFF + 32,
-        voff40 = VALUE_OFF + 40,
-        voff48 = VALUE_OFF + 48,
-        voff56 = VALUE_OFF + 56,
-        next = NEXT_OFF,
-    ))
-    .expect("kvstore kernel assembles");
+    let body = assemble(programs::KVSTORE_OP).expect("kvstore kernel assembles");
     KernelSpec::body_only("kvstore_op", body)
 }
 

@@ -25,6 +25,7 @@ pub mod histo;
 pub mod kvstore;
 pub mod olap;
 pub mod opt;
+pub mod programs;
 pub mod spmv;
 
 /// Base address where workload input/output arrays are placed (device HDM).

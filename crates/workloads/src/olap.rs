@@ -11,14 +11,13 @@
 //! Synthetic columns reproduce the benchmark value distributions so the
 //! official selectivities hold (the Filter-phase cost depends on them).
 
-use m2ndp_core::engine::argblock;
 use m2ndp_core::{KernelSpec, LaunchArgs};
 use m2ndp_mem::MainMemory;
 use m2ndp_riscv::assemble;
 use m2ndp_sim::rng::seeded;
 use rand::Rng;
 
-use crate::DATA_BASE;
+use crate::{programs, DATA_BASE};
 
 /// One predicate: rows qualify when `lo <= value <= hi` (i32 columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,32 +228,7 @@ pub fn queries() -> Vec<Query> {
 /// `[lo, hi]` and writes/ANDs one mask byte. User args: `[0]=lo, [1]=hi,
 /// [2]=mask_base, [3]=mode` (0 = overwrite, 1 = AND with existing mask).
 pub fn evaluate_kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let body = assemble(&format!(
-        "vsetvli x0, x0, e32, m1
-         vle32.v v1, (x1)     // 8 column values
-         ld x5, {a0}(x3)      // lo
-         ld x6, {a1}(x3)      // hi
-         vmsge.vx v2, v1, x5
-         vmsle.vx v3, v1, x6
-         vand.vv v2, v2, v3   // conjunction of the two mask bytes
-         vsetvli x0, x0, e8, m1
-         vmv.x.s x7, v2       // 8 mask bits
-         ld x8, {a2}(x3)      // mask base
-         srli x9, x2, 5       // granule index = mask byte index
-         add x8, x8, x9
-         ld x10, {a3}(x3)     // mode
-         beqz x10, store
-         lbu x11, (x8)
-         and x7, x7, x11
-         store: sb x7, (x8)
-         halt",
-        a0 = a(0),
-        a1 = a(1),
-        a2 = a(2),
-        a3 = a(3),
-    ))
-    .expect("olap evaluate assembles");
+    let body = assemble(programs::OLAP_EVALUATE).expect("olap evaluate assembles");
     KernelSpec::body_only("olap_evaluate", body)
 }
 

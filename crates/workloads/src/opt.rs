@@ -12,12 +12,11 @@
 //! then each µthread computes the 8 output elements mapped to its 32 B of
 //! the output vector — the µthread pool region — streaming 8 weight rows.
 
-use m2ndp_core::engine::argblock;
 use m2ndp_core::{KernelId, KernelSpec, LaunchArgs};
 use m2ndp_mem::MainMemory;
 use m2ndp_riscv::assemble;
 
-use crate::DATA_BASE;
+use crate::{programs, DATA_BASE};
 
 /// Scaled transformer shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -231,77 +230,8 @@ pub fn generate(cfg: OptConfig, mem: &mut MainMemory) -> OptData {
 /// Initializer stages x into the scratchpad. User args: `[0]=w_base,
 /// [1]=x_base, [2]=K (elements), [3]=M (rows), [4]=units`.
 pub fn gemv_kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let init = assemble(&format!(
-        "ld x4, (x3)          // spad base
-         ld x5, {a1}(x3)      // x base (global)
-         ld x6, {a2}(x3)      // K
-         srli x6, x6, 3       // 32 B chunks of x
-         ld x7, 8(x3)         // init thread count
-         ld x8, {a4}(x3)      // units
-         divu x9, x2, x8      // local id
-         divu x10, x7, x8     // per-unit count
-         vsetvli x0, x0, e32, m1
-         mv x11, x9
-         cploop: bge x11, x6, cpdone
-         slli x12, x11, 5
-         add x13, x5, x12
-         vle32.v v1, (x13)
-         add x14, x4, x12
-         vse32.v v1, (x14)
-         add x11, x11, x10
-         j cploop
-         cpdone: halt",
-        a1 = a(1),
-        a2 = a(2),
-        a4 = a(4),
-    ))
-    .expect("gemv init assembles");
-    let body = assemble(&format!(
-        "ld x5, {a0}(x3)      // W base
-         ld x6, {a2}(x3)      // K
-         ld x7, {a3}(x3)      // M
-         ld x4, (x3)          // spad base (x vector)
-         srli x10, x2, 2      // first output row (f32 index)
-         li x11, 8            // rows in this 32 B output granule
-         row_loop:
-         bge x10, x7, done
-         beqz x11, done
-         // W row pointer = W + row*K*4
-         mul x12, x10, x6
-         slli x12, x12, 2
-         add x12, x5, x12
-         vsetvli x0, x0, e32, m1
-         vmv.v.i v4, 0
-         mv x13, x6           // remaining K
-         mv x14, x4           // spad cursor
-         dot_loop:
-         blez x13, dot_done
-         vle32.v v1, (x12)    // 8 weights
-         vle32.v v2, (x14)    // 8 x values (scratchpad)
-         vfmacc.vv v4, v1, v2
-         addi x12, x12, 32
-         addi x14, x14, 32
-         addi x13, x13, -8
-         j dot_loop
-         dot_done:
-         vmv.v.i v5, 0
-         vfredusum.vs v6, v4, v5
-         vfmv.f.s fa0, v6
-         slli x15, x10, 2
-         ld x16, {pool}(x3)   // pool base from the arg block
-         add x15, x16, x15
-         fsw fa0, (x15)
-         addi x10, x10, 1
-         addi x11, x11, -1
-         j row_loop
-         done: halt",
-        a0 = a(0),
-        a2 = a(2),
-        a3 = a(3),
-        pool = (argblock::POOL_BASE * 8),
-    ))
-    .expect("gemv body assembles");
+    let init = assemble(programs::GEMV_INIT).expect("gemv init assembles");
+    let body = assemble(programs::GEMV_BODY).expect("gemv body assembles");
     KernelSpec::from_programs("gemv", Some(init), body, None, 128 << 10)
 }
 
@@ -309,66 +239,7 @@ pub fn gemv_kernel() -> KernelSpec {
 /// User args: `[0]=q_base, [1]=k_cache, [2]=T, [3]=head_dim,
 /// [4]=inv_sqrt_d bits (f32)`.
 pub fn scores_kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let body = assemble(&format!(
-        "ld x5, {a0}(x3)      // q base
-         ld x6, {a1}(x3)      // K cache
-         ld x7, {a2}(x3)      // T
-         ld x8, {a3}(x3)      // head_dim d
-         ld x20, {a4}(x3)
-         fmv.w.x fa1, x20     // 1/sqrt(d)
-         // this granule: 8 consecutive scores of one head
-         srli x9, x2, 2       // global score index
-         divu x10, x9, x7     // head h
-         remu x11, x9, x7     // first t
-         // q_h = q + h*d*4 ; K_h = K + h*T*d*4
-         mul x12, x10, x8
-         slli x12, x12, 2
-         add x12, x5, x12     // q_h
-         mul x13, x10, x7
-         mul x13, x13, x8
-         slli x13, x13, 2
-         add x13, x6, x13     // K_h
-         li x14, 8            // scores this µthread computes
-         mv x21, x1           // output cursor (pool region)
-         sc_loop:
-         bge x11, x7, done
-         beqz x14, done
-         // dot(q_h, K_h[t])
-         mul x15, x11, x8
-         slli x15, x15, 2
-         add x15, x13, x15
-         vsetvli x0, x0, e32, m1
-         vmv.v.i v4, 0
-         mv x16, x8
-         mv x17, x12
-         dloop:
-         blez x16, ddone
-         vle32.v v1, (x17)
-         vle32.v v2, (x15)
-         vfmacc.vv v4, v1, v2
-         addi x17, x17, 32
-         addi x15, x15, 32
-         addi x16, x16, -8
-         j dloop
-         ddone:
-         vmv.v.i v5, 0
-         vfredusum.vs v6, v4, v5
-         vfmv.f.s fa0, v6
-         fmul.s fa0, fa0, fa1
-         fsw fa0, (x21)
-         addi x21, x21, 4
-         addi x11, x11, 1
-         addi x14, x14, -1
-         j sc_loop
-         done: halt",
-        a0 = a(0),
-        a1 = a(1),
-        a2 = a(2),
-        a3 = a(3),
-        a4 = a(4),
-    ))
-    .expect("scores kernel assembles");
+    let body = assemble(programs::ATTN_SCORES).expect("scores kernel assembles");
     KernelSpec::body_only("attn_scores", body)
 }
 
@@ -376,63 +247,7 @@ pub fn scores_kernel() -> KernelSpec {
 /// place. Pool region: heads × 32 B dummy. User args: `[0]=scores_base,
 /// [1]=T`.
 pub fn softmax_kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let body = assemble(&format!(
-        "ld x5, {a0}(x3)      // scores base
-         ld x7, {a1}(x3)      // T
-         srli x9, x2, 5       // head index
-         mul x10, x9, x7
-         slli x10, x10, 2
-         add x10, x5, x10     // this head's scores
-         // pass 1: max
-         li x20, 0xff800000   // -inf bits (f32)
-         fmv.w.x fa0, x20
-         vsetvli x0, x0, e32, m1
-         vfmv.v.f v7, fa0     // max accumulator lanes
-         mv x11, x7
-         mv x12, x10
-         mx_loop: blez x11, mx_done
-         vle32.v v1, (x12)
-         vfmax.vv v7, v7, v1
-         addi x12, x12, 32
-         addi x11, x11, -8
-         j mx_loop
-         mx_done:
-         vfmv.v.f v5, fa0
-         vfredmax.vs v6, v7, v5
-         vfmv.f.s fa2, v6     // row max
-         // pass 2: exp(x - max), accumulate sum
-         vmv.v.i v8, 0
-         mv x11, x7
-         mv x12, x10
-         ex_loop: blez x11, ex_done
-         vle32.v v1, (x12)
-         vfsub.vf v1, v1, fa2
-         vfexp.v v1, v1
-         vse32.v v1, (x12)
-         vfadd.vv v8, v8, v1
-         addi x12, x12, 32
-         addi x11, x11, -8
-         j ex_loop
-         ex_done:
-         vmv.v.i v5, 0
-         vfredusum.vs v6, v8, v5
-         vfmv.f.s fa3, v6     // sum
-         // pass 3: divide
-         mv x11, x7
-         mv x12, x10
-         dv_loop: blez x11, dv_done
-         vle32.v v1, (x12)
-         vfdiv.vf v1, v1, fa3
-         vse32.v v1, (x12)
-         addi x12, x12, 32
-         addi x11, x11, -8
-         j dv_loop
-         dv_done: halt",
-        a0 = a(0),
-        a1 = a(1),
-    ))
-    .expect("softmax kernel assembles");
+    let body = assemble(programs::ATTN_SOFTMAX).expect("softmax kernel assembles");
     KernelSpec::body_only("attn_softmax", body)
 }
 
@@ -440,45 +255,7 @@ pub fn softmax_kernel() -> KernelSpec {
 /// Pool region: the attention output (H f32). User args: `[0]=scores_base
 /// (now probabilities), [1]=v_cache, [2]=T, [3]=head_dim`.
 pub fn weighted_sum_kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let body = assemble(&format!(
-        "ld x5, {a0}(x3)      // p base
-         ld x6, {a1}(x3)      // V cache
-         ld x7, {a2}(x3)      // T
-         ld x8, {a3}(x3)      // d
-         srli x9, x2, 2       // global output element index
-         divu x10, x9, x8     // head
-         remu x11, x9, x8     // d0 within head
-         // p_h = p + h*T*4 ; V_h = V + h*T*d*4 + d0*4
-         mul x12, x10, x7
-         slli x12, x12, 2
-         add x12, x5, x12
-         mul x13, x10, x7
-         mul x13, x13, x8
-         add x13, x13, x11
-         slli x13, x13, 2
-         add x13, x6, x13
-         slli x14, x8, 2      // row stride = d*4
-         vsetvli x0, x0, e32, m1
-         vmv.v.i v4, 0
-         mv x15, x7
-         ws_loop: blez x15, ws_done
-         flw fa0, (x12)       // p[t]
-         vle32.v v1, (x13)    // V[t][d0..d0+8]
-         vfmacc.vf v4, fa0, v1
-         addi x12, x12, 4
-         add x13, x13, x14
-         addi x15, x15, -1
-         j ws_loop
-         ws_done:
-         vse32.v v4, (x1)     // output slice (pool region)
-         halt",
-        a0 = a(0),
-        a1 = a(1),
-        a2 = a(2),
-        a3 = a(3),
-    ))
-    .expect("weighted sum kernel assembles");
+    let body = assemble(programs::ATTN_WSUM).expect("weighted sum kernel assembles");
     KernelSpec::body_only("attn_wsum", body)
 }
 

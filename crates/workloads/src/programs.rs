@@ -1,0 +1,132 @@
+//! The canonical kernel sources: the `.s` files under `programs/` at the
+//! repository root, embedded at build time.
+//!
+//! The paper's kernels are hand-written assembly (§IV-B); these textual
+//! sources are the single source of truth. The kernel builders in the
+//! sibling modules assemble them (the arg-block offsets — `(USER + i) * 8`
+//! and `POOL_BASE * 8` — are baked into the text and pinned by the
+//! `argblock_offsets_match_sources` test below), the `m2ndp-asm` CLI checks
+//! and disassembles them, and the round-trip test suite re-assembles every
+//! one byte-identically from its disassembly.
+
+/// One corpus entry: a kernel program's name and assembly source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramSource {
+    /// Program name (also the `.s` file stem under `programs/`).
+    pub name: &'static str,
+    /// Assembly source text.
+    pub source: &'static str,
+}
+
+macro_rules! corpus {
+    ($($(#[$doc:meta])* $konst:ident = $stem:literal;)+) => {
+        $(
+            $(#[$doc])*
+            pub const $konst: &str = include_str!(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../programs/",
+                $stem,
+                ".s"
+            ));
+        )+
+
+        /// Every kernel source in the corpus, in registration order.
+        pub fn corpus() -> Vec<ProgramSource> {
+            vec![$(ProgramSource { name: $stem, source: $konst },)+]
+        }
+    };
+}
+
+corpus! {
+    /// DLRM sparse-length-sum body.
+    DLRM_SLS = "dlrm_sls";
+    /// OPT GEMV initializer (stages x into the scratchpad).
+    GEMV_INIT = "gemv_init";
+    /// OPT GEMV body (y = W @ x).
+    GEMV_BODY = "gemv_body";
+    /// OPT attention-scores body.
+    ATTN_SCORES = "attn_scores";
+    /// OPT attention-softmax body.
+    ATTN_SOFTMAX = "attn_softmax";
+    /// OPT attention weighted-sum body.
+    ATTN_WSUM = "attn_wsum";
+    /// KVStore GET/SET chain-walk body.
+    KVSTORE_OP = "kvstore_op";
+    /// HISTO scratchpad-bin initializer.
+    HISTO_INIT = "histo_init";
+    /// HISTO vector-AMO body.
+    HISTO_BODY = "histo_body";
+    /// HISTO global-flush finalizer.
+    HISTO_FINI = "histo_fini";
+    /// OLAP Evaluate body.
+    OLAP_EVALUATE = "olap_evaluate";
+    /// SPMV CSR body.
+    SPMV = "spmv";
+    /// PGRANK contribution body (K1).
+    PGRANK_CONTRIB = "pgrank_contrib";
+    /// PGRANK gather body (K2).
+    PGRANK_GATHER = "pgrank_gather";
+    /// SSSP relaxation body.
+    SSSP = "sssp";
+}
+
+/// Looks up a corpus source by name.
+pub fn source(name: &str) -> Option<&'static str> {
+    corpus().iter().find(|p| p.name == name).map(|p| p.source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m2ndp_core::engine::argblock;
+
+    #[test]
+    fn corpus_has_all_fifteen_programs() {
+        let names: Vec<_> = corpus().iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 15);
+        for family in [
+            "dlrm_sls",
+            "gemv_body",
+            "kvstore_op",
+            "histo_body",
+            "olap_evaluate",
+            "spmv",
+            "pgrank_gather",
+            "sssp",
+        ] {
+            assert!(names.contains(&family), "missing {family}");
+        }
+    }
+
+    #[test]
+    fn every_source_assembles() {
+        for p in corpus() {
+            assert!(
+                m2ndp_riscv::assemble(p.source).is_ok(),
+                "{} must assemble",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn source_lookup_round_trips() {
+        assert_eq!(source("spmv"), Some(SPMV));
+        assert!(source("nonesuch").is_none());
+    }
+
+    /// The `.s` sources bake the arg-block layout in as literal offsets:
+    /// user arg `i` lives at `(USER + i) * 8` and the pool base at
+    /// `POOL_BASE * 8`. If this test fails, the engine's arg-block layout
+    /// changed and every file under `programs/` must be re-derived.
+    #[test]
+    fn argblock_offsets_match_sources() {
+        assert_eq!(argblock::USER, 5, "user args start at offset 40");
+        assert_eq!(argblock::POOL_BASE, 3, "pool base at offset 24");
+        // Spot-check the baked text itself.
+        assert!(DLRM_SLS.contains("ld x5, 40(x3)"));
+        assert!(GEMV_BODY.contains("ld x16, 24(x3)"));
+        assert!(KVSTORE_OP.contains("ld x12, 144(x3)"));
+        assert!(SSSP.contains("li x21, 4611686018427387903"));
+    }
+}

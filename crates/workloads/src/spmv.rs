@@ -7,14 +7,13 @@
 //! bookkeeping (row bounds, loop control — the A1 advantage over SIMT-only
 //! GPUs) with vector gathers of `x[col]` and fused multiply-accumulates.
 
-use m2ndp_core::engine::argblock;
 use m2ndp_core::{KernelSpec, LaunchArgs};
 use m2ndp_mem::MainMemory;
 use m2ndp_riscv::assemble;
 use m2ndp_sim::rng::seeded;
 use rand::Rng;
 
-use crate::DATA_BASE;
+use crate::{programs, DATA_BASE};
 
 /// SPMV / CSR configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,54 +108,7 @@ pub fn generate(cfg: SpmvConfig, mem: &mut MainMemory) -> SpmvData {
 /// Builds the SPMV kernel. User args: `[0]=col_base, [1]=val_base,
 /// [2]=x_base, [3]=y_base, [4]=rows`.
 pub fn kernel() -> KernelSpec {
-    let a = |i: u64| (argblock::USER as u64 + i) * 8;
-    let (a0, a1, a2, a3, a4) = (a(0), a(1), a(2), a(3), a(4));
-    let body = assemble(&format!(
-        "ld x5, {a0}(x3)      // col base
-         ld x6, {a1}(x3)      // val base
-         ld x7, {a2}(x3)      // x base
-         ld x8, {a3}(x3)      // y base
-         ld x9, {a4}(x3)      // rows
-         srli x10, x2, 3      // first row of this granule
-         li x11, 4            // rows per 32 B of row_ptr
-         mv x19, x1           // cursor into row_ptr
-         row_loop:
-         bge x10, x9, done
-         beqz x11, done
-         ld x12, (x19)        // row start
-         ld x13, 8(x19)       // row end
-         sub x14, x13, x12    // nnz in row
-         vsetvli x0, x0, e32, m1
-         vmv.v.i v4, 0        // accumulator lanes
-         nnz_loop:
-         blez x14, row_done
-         vsetvli x15, x14, e32, m1
-         slli x16, x12, 2
-         add x17, x5, x16
-         vle32.v v1, (x17)    // column indices
-         add x18, x6, x16
-         vle32.v v2, (x18)    // values
-         vsll.vi v1, v1, 2    // byte offsets into x
-         vluxei32.v v3, (x7), v1
-         vfmacc.vv v4, v2, v3 // v4 += val * x[col]
-         sub x14, x14, x15
-         add x12, x12, x15
-         j nnz_loop
-         row_done:
-         vsetvli x0, x0, e32, m1
-         vmv.v.i v5, 0
-         vfredusum.vs v6, v4, v5
-         vfmv.f.s fa0, v6
-         slli x16, x10, 2
-         add x17, x8, x16
-         fsw fa0, (x17)
-         addi x10, x10, 1
-         addi x19, x19, 8
-         addi x11, x11, -1
-         j row_loop
-         done: halt"
-    ))
-    .expect("spmv kernel assembles");
+    let body = assemble(programs::SPMV).expect("spmv kernel assembles");
     KernelSpec::body_only("spmv", body)
 }
 

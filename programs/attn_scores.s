@@ -1,0 +1,54 @@
+// Attention-scores body: this µthread computes 8 consecutive scores of one
+// head, dot(q_h, K_h[t]) / sqrt(d), into its pool-region slice. User args:
+// [0]=q_base, [1]=k_cache, [2]=T, [3]=head_dim, [4]=inv_sqrt_d bits (f32).
+ld x5, 40(x3)        // q base
+ld x6, 48(x3)        // K cache
+ld x7, 56(x3)        // T
+ld x8, 64(x3)        // head_dim d
+ld x20, 72(x3)
+fmv.w.x fa1, x20     // 1/sqrt(d)
+// this granule: 8 consecutive scores of one head
+srli x9, x2, 2       // global score index
+divu x10, x9, x7     // head h
+remu x11, x9, x7     // first t
+// q_h = q + h*d*4 ; K_h = K + h*T*d*4
+mul x12, x10, x8
+slli x12, x12, 2
+add x12, x5, x12     // q_h
+mul x13, x10, x7
+mul x13, x13, x8
+slli x13, x13, 2
+add x13, x6, x13     // K_h
+li x14, 8            // scores this µthread computes
+mv x21, x1           // output cursor (pool region)
+sc_loop:
+bge x11, x7, done
+beqz x14, done
+// dot(q_h, K_h[t])
+mul x15, x11, x8
+slli x15, x15, 2
+add x15, x13, x15
+vsetvli x0, x0, e32, m1
+vmv.v.i v4, 0
+mv x16, x8
+mv x17, x12
+dloop:
+blez x16, ddone
+vle32.v v1, (x17)
+vle32.v v2, (x15)
+vfmacc.vv v4, v1, v2
+addi x17, x17, 32
+addi x15, x15, 32
+addi x16, x16, -8
+j dloop
+ddone:
+vmv.v.i v5, 0
+vfredusum.vs v6, v4, v5
+vfmv.f.s fa0, v6
+fmul.s fa0, fa0, fa1
+fsw fa0, (x21)
+addi x21, x21, 4
+addi x11, x11, 1
+addi x14, x14, -1
+j sc_loop
+done: halt

@@ -1,0 +1,54 @@
+// Attention-softmax body: one µthread per head normalizes that head's
+// scores in place (max, exp via the vector SFU, divide). User args:
+// [0]=scores_base, [1]=T.
+ld x5, 40(x3)        // scores base
+ld x7, 48(x3)        // T
+srli x9, x2, 5       // head index
+mul x10, x9, x7
+slli x10, x10, 2
+add x10, x5, x10     // this head's scores
+// pass 1: max
+li x20, 0xff800000   // -inf bits (f32)
+fmv.w.x fa0, x20
+vsetvli x0, x0, e32, m1
+vfmv.v.f v7, fa0     // max accumulator lanes
+mv x11, x7
+mv x12, x10
+mx_loop: blez x11, mx_done
+vle32.v v1, (x12)
+vfmax.vv v7, v7, v1
+addi x12, x12, 32
+addi x11, x11, -8
+j mx_loop
+mx_done:
+vfmv.v.f v5, fa0
+vfredmax.vs v6, v7, v5
+vfmv.f.s fa2, v6     // row max
+// pass 2: exp(x - max), accumulate sum
+vmv.v.i v8, 0
+mv x11, x7
+mv x12, x10
+ex_loop: blez x11, ex_done
+vle32.v v1, (x12)
+vfsub.vf v1, v1, fa2
+vfexp.v v1, v1
+vse32.v v1, (x12)
+vfadd.vv v8, v8, v1
+addi x12, x12, 32
+addi x11, x11, -8
+j ex_loop
+ex_done:
+vmv.v.i v5, 0
+vfredusum.vs v6, v8, v5
+vfmv.f.s fa3, v6     // sum
+// pass 3: divide
+mv x11, x7
+mv x12, x10
+dv_loop: blez x11, dv_done
+vle32.v v1, (x12)
+vfdiv.vf v1, v1, fa3
+vse32.v v1, (x12)
+addi x12, x12, 32
+addi x11, x11, -8
+j dv_loop
+dv_done: halt

@@ -1,0 +1,34 @@
+// Attention weighted-sum body: attn_out[h][d] = Σ_t p[h][t] · V[h][t][d],
+// one 32 B output slice per µthread (pool region). User args:
+// [0]=scores_base (now probabilities), [1]=v_cache, [2]=T, [3]=head_dim.
+ld x5, 40(x3)        // p base
+ld x6, 48(x3)        // V cache
+ld x7, 56(x3)        // T
+ld x8, 64(x3)        // d
+srli x9, x2, 2       // global output element index
+divu x10, x9, x8     // head
+remu x11, x9, x8     // d0 within head
+// p_h = p + h*T*4 ; V_h = V + h*T*d*4 + d0*4
+mul x12, x10, x7
+slli x12, x12, 2
+add x12, x5, x12
+mul x13, x10, x7
+mul x13, x13, x8
+add x13, x13, x11
+slli x13, x13, 2
+add x13, x6, x13
+slli x14, x8, 2      // row stride = d*4
+vsetvli x0, x0, e32, m1
+vmv.v.i v4, 0
+mv x15, x7
+ws_loop: blez x15, ws_done
+flw fa0, (x12)       // p[t]
+vle32.v v1, (x13)    // V[t][d0..d0+8]
+vfmacc.vf v4, fa0, v1
+addi x12, x12, 4
+add x13, x13, x14
+addi x15, x15, -1
+j ws_loop
+ws_done:
+vse32.v v4, (x1)     // output slice (pool region)
+halt

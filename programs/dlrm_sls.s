@@ -1,0 +1,31 @@
+// DLRM Sparse-Length-Sum body: each µthread gathers the matching 32 B slice
+// of every looked-up embedding row and sums into its output slice (the
+// µthread pool region). User args: [0]=table_base, [1]=indices_base,
+// [2]=row_bytes, [3]=lookups.
+ld x5, 40(x3)        // table base
+ld x6, 48(x3)        // indices base
+ld x7, 56(x3)        // row bytes
+ld x8, 64(x3)        // lookups
+divu x9, x2, x7      // request index
+remu x10, x2, x7     // byte offset within the output row
+// index cursor = indices + req*lookups*8
+mul x11, x9, x8
+slli x11, x11, 3
+add x11, x6, x11
+vsetvli x0, x0, e32, m1
+vmv.v.i v4, 0        // 8-lane accumulator
+mv x12, x8
+lk_loop:
+beqz x12, done
+ld x13, (x11)        // embedding row index
+mul x14, x13, x7
+add x14, x14, x10    // + our slice offset
+add x14, x5, x14
+vle32.v v1, (x14)    // 32 B slice of the row
+vfadd.vv v4, v4, v1
+addi x11, x11, 8
+addi x12, x12, -1
+j lk_loop
+done:
+vse32.v v4, (x1)     // output slice (pool region)
+halt

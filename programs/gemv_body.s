@@ -1,0 +1,41 @@
+// GEMV body: y = W @ x with W row-major M×K; each µthread computes the 8
+// output rows mapped to its 32 B of y (the pool region), reading x from the
+// scratchpad. User args: [0]=w_base, [2]=K (elements), [3]=M (rows).
+ld x5, 40(x3)        // W base
+ld x6, 56(x3)        // K
+ld x7, 64(x3)        // M
+ld x4, (x3)          // spad base (x vector)
+srli x10, x2, 2      // first output row (f32 index)
+li x11, 8            // rows in this 32 B output granule
+row_loop:
+bge x10, x7, done
+beqz x11, done
+// W row pointer = W + row*K*4
+mul x12, x10, x6
+slli x12, x12, 2
+add x12, x5, x12
+vsetvli x0, x0, e32, m1
+vmv.v.i v4, 0
+mv x13, x6           // remaining K
+mv x14, x4           // spad cursor
+dot_loop:
+blez x13, dot_done
+vle32.v v1, (x12)    // 8 weights
+vle32.v v2, (x14)    // 8 x values (scratchpad)
+vfmacc.vv v4, v1, v2
+addi x12, x12, 32
+addi x14, x14, 32
+addi x13, x13, -8
+j dot_loop
+dot_done:
+vmv.v.i v5, 0
+vfredusum.vs v6, v4, v5
+vfmv.f.s fa0, v6
+slli x15, x10, 2
+ld x16, 24(x3)       // pool base from the arg block
+add x15, x16, x15
+fsw fa0, (x15)
+addi x10, x10, 1
+addi x11, x11, -1
+j row_loop
+done: halt

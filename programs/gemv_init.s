@@ -1,0 +1,22 @@
+// GEMV initializer: stage the x vector into the unit scratchpad, striped
+// across the unit's init µthreads. User args: [1]=x_base, [2]=K (elements),
+// [4]=units; arg word 1 is the init thread count.
+ld x4, (x3)          // spad base
+ld x5, 48(x3)        // x base (global)
+ld x6, 56(x3)        // K
+srli x6, x6, 3       // 32 B chunks of x
+ld x7, 8(x3)         // init thread count
+ld x8, 72(x3)        // units
+divu x9, x2, x8      // local id
+divu x10, x7, x8     // per-unit count
+vsetvli x0, x0, e32, m1
+mv x11, x9
+cploop: bge x11, x6, cpdone
+slli x12, x11, 5
+add x13, x5, x12
+vle32.v v1, (x13)
+add x14, x4, x12
+vse32.v v1, (x14)
+add x11, x11, x10
+j cploop
+cpdone: halt

@@ -1,0 +1,12 @@
+// HISTO body: vector-gather this µthread's 32 B granule of the input and
+// scatter-add counts into the scratchpad bins with vector AMOs. User args:
+// [1]=shift.
+vsetvli x0, x0, e32, m1
+vle32.v v1, (x1)     // 8 input elements
+ld x6, 48(x3)        // shift
+vsrl.vx v1, v1, x6   // bin index
+vsll.vi v1, v1, 2    // byte offset
+ld x4, (x3)          // spad base (bins at offset 0)
+vmv.v.i v2, 1
+vamoaddei32.v v2, (x4), v1
+halt

@@ -1,0 +1,22 @@
+// HISTO finalizer: flush this unit's non-zero scratchpad bins into the
+// global histogram with global atomics, striped like the initializer.
+// User args: [0]=nbins, [2]=global bins base, [3]=units; arg word 1 is the
+// finalizer thread count.
+ld x4, (x3)
+ld x5, 40(x3)        // nbins
+ld x6, 8(x3)
+ld x7, 64(x3)
+divu x8, x2, x7      // local id
+divu x9, x6, x7      // per-unit count
+ld x13, 56(x3)       // global bins base
+mv x10, x8
+floop: bge x10, x5, fdone
+slli x11, x10, 2
+add x12, x4, x11
+lw x14, (x12)
+beqz x14, fskip      // nothing counted in this bin here
+add x15, x13, x11
+amoadd.w x14, x14, (x15)
+fskip: add x10, x10, x9
+j floop
+fdone: halt

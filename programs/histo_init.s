@@ -1,0 +1,18 @@
+// HISTO initializer: zero this unit's scratchpad bins, striped across the
+// unit's init µthreads. User args: [0]=nbins, [3]=units; arg word 1 is the
+// init thread count.
+ld x4, (x3)          // spad base VA
+ld x5, 40(x3)        // nbins
+ld x6, 8(x3)         // init thread count (total slots)
+ld x7, 64(x3)        // units
+divu x8, x2, x7      // local id within unit
+divu x9, x6, x7      // threads per unit
+// stripe: for (i = local; i < nbins; i += per_unit) spad_bins[i]=0
+mv x10, x8
+zloop: bge x10, x5, zdone
+slli x11, x10, 2
+add x12, x4, x11
+sw x0, (x12)
+add x10, x10, x9
+j zloop
+zdone: halt

@@ -1,0 +1,60 @@
+// KVStore GET/SET body: walk the bucket chain comparing 24 B keys
+// (entry layout: key +0, next +24, value +32, 128 B stride). A GET copies
+// the 64 B value to the output slot and writes the entry address at
+// output+64 (0 on miss); a SET overwrites the value in place. User args:
+// [0]=&bucket_head, [1..=3]=key words, [4]=output slot addr,
+// [5]=op (0 GET / 1 SET), [6..=13]=value words for SET.
+ld x5, 40(x3)        // &bucket head
+ld x6, (x5)          // entry pointer
+ld x7, 48(x3)        // key word 0
+ld x8, 56(x3)        // key word 1
+ld x9, 64(x3)        // key word 2
+walk:
+beqz x6, miss
+ld x10, (x6)
+bne x10, x7, next
+ld x10, 8(x6)
+bne x10, x8, next
+ld x10, 16(x6)
+bne x10, x9, next
+// hit: x6 = entry
+ld x11, 80(x3)       // op
+bnez x11, do_set
+// GET: copy 64 B value to the output slot
+ld x12, 72(x3)
+addi x13, x6, 32
+vsetvli x0, x0, e64, m1
+vle64.v v1, (x13)
+vse64.v v1, (x12)
+addi x13, x13, 32
+addi x14, x12, 32
+vle64.v v2, (x13)
+vse64.v v2, (x14)
+sd x6, 64(x12)       // found marker: entry address
+halt
+do_set:
+// SET: overwrite value from args
+ld x12, 88(x3)
+sd x12, 32(x6)
+ld x12, 96(x3)
+sd x12, 40(x6)
+ld x12, 104(x3)
+sd x12, 48(x6)
+ld x12, 112(x3)
+sd x12, 56(x6)
+ld x12, 120(x3)
+sd x12, 64(x6)
+ld x12, 128(x3)
+sd x12, 72(x6)
+ld x12, 136(x3)
+sd x12, 80(x6)
+ld x12, 144(x3)
+sd x12, 88(x6)
+halt
+next:
+ld x6, 24(x6)
+j walk
+miss:
+ld x12, 72(x3)
+sd x0, 64(x12)
+halt

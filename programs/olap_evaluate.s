@@ -1,0 +1,21 @@
+// OLAP Evaluate body: compare this µthread's 8 column values against
+// [lo, hi] and write/AND one mask byte. User args: [0]=lo, [1]=hi,
+// [2]=mask_base, [3]=mode (0 = overwrite, 1 = AND with existing mask).
+vsetvli x0, x0, e32, m1
+vle32.v v1, (x1)     // 8 column values
+ld x5, 40(x3)        // lo
+ld x6, 48(x3)        // hi
+vmsge.vx v2, v1, x5
+vmsle.vx v3, v1, x6
+vand.vv v2, v2, v3   // conjunction of the two mask bytes
+vsetvli x0, x0, e8, m1
+vmv.x.s x7, v2       // 8 mask bits
+ld x8, 56(x3)        // mask base
+srli x9, x2, 5       // granule index = mask byte index
+add x8, x8, x9
+ld x10, 64(x3)       // mode
+beqz x10, store
+lbu x11, (x8)
+and x7, x7, x11
+store: sb x7, (x8)
+halt

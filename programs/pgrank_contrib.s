@@ -1,0 +1,13 @@
+// PGRANK K1 body: contrib[v] = rank[v] / outdeg[v], dense vector divide
+// over this µthread's 32 B slice of the contrib array (pool region).
+// User args: [0]=rank base, [1]=outdeg base.
+ld x5, 40(x3)       // rank base
+ld x6, 48(x3)       // outdeg base
+vsetvli x0, x0, e32, m1
+add x7, x5, x2
+vle32.v v1, (x7)
+add x8, x6, x2
+vle32.v v2, (x8)
+vfdiv.vv v3, v1, v2
+vse32.v v3, (x1)    // contrib (pool region)
+halt

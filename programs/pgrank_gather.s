@@ -1,0 +1,49 @@
+// PGRANK K2 body: gather in-neighbour contributions over the reverse CSR
+// (4 vertices per µthread) and apply the damping update. User args:
+// [0]=rcol, [1]=contrib, [2]=new_rank, [3]=nodes, [4]=base_term_bits (f32),
+// [5]=damping_bits (f32).
+ld x5, 40(x3)
+ld x6, 48(x3)
+ld x7, 56(x3)
+ld x9, 64(x3)
+ld x20, 72(x3)
+fmv.w.x fa1, x20     // base term (1-d)/N
+ld x20, 80(x3)
+fmv.w.x fa2, x20     // damping d
+srli x10, x2, 3
+li x11, 4
+mv x19, x1
+row_loop:
+bge x10, x9, done
+beqz x11, done
+ld x12, (x19)
+ld x13, 8(x19)
+sub x14, x13, x12
+vsetvli x0, x0, e32, m1
+vmv.v.i v4, 0
+nnz_loop:
+blez x14, row_done
+vsetvli x15, x14, e32, m1
+slli x16, x12, 2
+add x17, x5, x16
+vle32.v v1, (x17)    // in-neighbour ids
+vsll.vi v1, v1, 2
+vluxei32.v v3, (x6), v1  // gather contribs
+vfadd.vv v4, v4, v3
+sub x14, x14, x15
+add x12, x12, x15
+j nnz_loop
+row_done:
+vsetvli x0, x0, e32, m1
+vmv.v.i v5, 0
+vfredusum.vs v6, v4, v5
+vfmv.f.s fa0, v6
+fmadd.s fa3, fa0, fa2, fa1   // new = d*sum + (1-d)/N
+slli x16, x10, 2
+add x17, x7, x16
+fsw fa3, (x17)
+addi x10, x10, 1
+addi x19, x19, 8
+addi x11, x11, -1
+j row_loop
+done: halt

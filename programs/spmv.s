@@ -1,0 +1,47 @@
+// SPMV body: CSR sparse matrix–vector multiply; each µthread owns the 4
+// rows whose row_ptr entries fall in its 32 B granule, mixing scalar row
+// bookkeeping with vector gathers of x[col] and fused multiply-accumulates.
+// User args: [0]=col_base, [1]=val_base, [2]=x_base, [3]=y_base, [4]=rows.
+ld x5, 40(x3)        // col base
+ld x6, 48(x3)        // val base
+ld x7, 56(x3)        // x base
+ld x8, 64(x3)        // y base
+ld x9, 72(x3)        // rows
+srli x10, x2, 3      // first row of this granule
+li x11, 4            // rows per 32 B of row_ptr
+mv x19, x1           // cursor into row_ptr
+row_loop:
+bge x10, x9, done
+beqz x11, done
+ld x12, (x19)        // row start
+ld x13, 8(x19)       // row end
+sub x14, x13, x12    // nnz in row
+vsetvli x0, x0, e32, m1
+vmv.v.i v4, 0        // accumulator lanes
+nnz_loop:
+blez x14, row_done
+vsetvli x15, x14, e32, m1
+slli x16, x12, 2
+add x17, x5, x16
+vle32.v v1, (x17)    // column indices
+add x18, x6, x16
+vle32.v v2, (x18)    // values
+vsll.vi v1, v1, 2    // byte offsets into x
+vluxei32.v v3, (x7), v1
+vfmacc.vv v4, v2, v3 // v4 += val * x[col]
+sub x14, x14, x15
+add x12, x12, x15
+j nnz_loop
+row_done:
+vsetvli x0, x0, e32, m1
+vmv.v.i v5, 0
+vfredusum.vs v6, v4, v5
+vfmv.f.s fa0, v6
+slli x16, x10, 2
+add x17, x8, x16
+fsw fa0, (x17)
+addi x10, x10, 1
+addi x19, x19, 8
+addi x11, x11, -1
+j row_loop
+done: halt

@@ -1,0 +1,39 @@
+// SSSP relaxation body (multi-body kernel; scalar-only): Bellman-Ford
+// sweep with amomin-based relaxation over the forward CSR, 4 rows per
+// µthread. User args: [0]=col, [1]=weight, [2]=dist, [3]=nodes.
+ld x5, 40(x3)        // col base
+ld x6, 48(x3)        // weight base
+ld x7, 56(x3)        // dist base
+ld x9, 64(x3)        // nodes
+srli x10, x2, 3
+li x11, 4
+mv x19, x1
+row_loop:
+bge x10, x9, done
+beqz x11, done
+slli x16, x10, 3
+add x17, x7, x16
+ld x20, (x17)        // dist[v]
+li x21, 4611686018427387903
+bge x20, x21, next_row   // unreachable: skip relaxations
+ld x12, (x19)
+ld x13, 8(x19)
+edge_loop:
+bge x12, x13, next_row
+slli x16, x12, 2
+add x17, x5, x16
+lwu x22, (x17)       // neighbour c
+add x18, x6, x16
+lwu x23, (x18)       // weight
+add x24, x20, x23    // candidate distance
+slli x25, x22, 3
+add x26, x7, x25
+amomin.d x27, x24, (x26)
+addi x12, x12, 1
+j edge_loop
+next_row:
+addi x10, x10, 1
+addi x19, x19, 8
+addi x11, x11, -1
+j row_loop
+done: halt

@@ -1,0 +1,49 @@
+    ld x5, 40(x3)
+    ld x6, 48(x3)
+    ld x7, 56(x3)
+    ld x8, 64(x3)
+    ld x20, 72(x3)
+    fmv.w.x f11, x20
+    srli x9, x2, 2
+    divu x10, x9, x7
+    remu x11, x9, x7
+    mul x12, x10, x8
+    slli x12, x12, 2
+    add x12, x5, x12
+    mul x13, x10, x7
+    mul x13, x13, x8
+    slli x13, x13, 2
+    add x13, x6, x13
+    li x14, 8
+    addi x21, x1, 0
+sc_loop:
+    bge x11, x7, done
+    beq x14, x0, done
+    mul x15, x11, x8
+    slli x15, x15, 2
+    add x15, x13, x15
+    vsetvli x0, x0, e32
+    vmv.v.i v4, 0
+    addi x16, x8, 0
+    addi x17, x12, 0
+dloop:
+    bge x0, x16, ddone
+    vle32.v v1, (x17)
+    vle32.v v2, (x15)
+    vfmacc.vv v4, v1, v2
+    addi x17, x17, 32
+    addi x15, x15, 32
+    addi x16, x16, -8
+    jal x0, dloop
+ddone:
+    vmv.v.i v5, 0
+    vfredusum.vs v6, v4, v5
+    vfmv.f.s f10, v6
+    fmul.s f10, f10, f11
+    fsw f10, 0(x21)
+    addi x21, x21, 4
+    addi x11, x11, 1
+    addi x14, x14, -1
+    jal x0, sc_loop
+done:
+    halt

@@ -1,0 +1,52 @@
+    ld x5, 40(x3)
+    ld x7, 48(x3)
+    srli x9, x2, 5
+    mul x10, x9, x7
+    slli x10, x10, 2
+    add x10, x5, x10
+    li x20, 4286578688
+    fmv.w.x f10, x20
+    vsetvli x0, x0, e32
+    vfmv.v.f v7, f10
+    addi x11, x7, 0
+    addi x12, x10, 0
+mx_loop:
+    bge x0, x11, mx_done
+    vle32.v v1, (x12)
+    vfmax.vv v7, v7, v1
+    addi x12, x12, 32
+    addi x11, x11, -8
+    jal x0, mx_loop
+mx_done:
+    vfmv.v.f v5, f10
+    vfredmax.vs v6, v7, v5
+    vfmv.f.s f12, v6
+    vmv.v.i v8, 0
+    addi x11, x7, 0
+    addi x12, x10, 0
+ex_loop:
+    bge x0, x11, ex_done
+    vle32.v v1, (x12)
+    vfsub.vf v1, v1, f12
+    vfexp.v v1, v1
+    vse32.v v1, (x12)
+    vfadd.vv v8, v8, v1
+    addi x12, x12, 32
+    addi x11, x11, -8
+    jal x0, ex_loop
+ex_done:
+    vmv.v.i v5, 0
+    vfredusum.vs v6, v8, v5
+    vfmv.f.s f13, v6
+    addi x11, x7, 0
+    addi x12, x10, 0
+dv_loop:
+    bge x0, x11, dv_done
+    vle32.v v1, (x12)
+    vfdiv.vf v1, v1, f13
+    vse32.v v1, (x12)
+    addi x12, x12, 32
+    addi x11, x11, -8
+    jal x0, dv_loop
+dv_done:
+    halt

@@ -1,0 +1,31 @@
+    ld x5, 40(x3)
+    ld x6, 48(x3)
+    ld x7, 56(x3)
+    ld x8, 64(x3)
+    srli x9, x2, 2
+    divu x10, x9, x8
+    remu x11, x9, x8
+    mul x12, x10, x7
+    slli x12, x12, 2
+    add x12, x5, x12
+    mul x13, x10, x7
+    mul x13, x13, x8
+    add x13, x13, x11
+    slli x13, x13, 2
+    add x13, x6, x13
+    slli x14, x8, 2
+    vsetvli x0, x0, e32
+    vmv.v.i v4, 0
+    addi x15, x7, 0
+ws_loop:
+    bge x0, x15, ws_done
+    flw f10, 0(x12)
+    vle32.v v1, (x13)
+    vfmacc.vf v4, f10, v1
+    addi x12, x12, 4
+    add x13, x13, x14
+    addi x15, x15, -1
+    jal x0, ws_loop
+ws_done:
+    vse32.v v4, (x1)
+    halt

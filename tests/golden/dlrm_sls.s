@@ -1,0 +1,26 @@
+    ld x5, 40(x3)
+    ld x6, 48(x3)
+    ld x7, 56(x3)
+    ld x8, 64(x3)
+    divu x9, x2, x7
+    remu x10, x2, x7
+    mul x11, x9, x8
+    slli x11, x11, 3
+    add x11, x6, x11
+    vsetvli x0, x0, e32
+    vmv.v.i v4, 0
+    addi x12, x8, 0
+lk_loop:
+    beq x12, x0, done
+    ld x13, 0(x11)
+    mul x14, x13, x7
+    add x14, x14, x10
+    add x14, x5, x14
+    vle32.v v1, (x14)
+    vfadd.vv v4, v4, v1
+    addi x11, x11, 8
+    addi x12, x12, -1
+    jal x0, lk_loop
+done:
+    vse32.v v4, (x1)
+    halt

@@ -1,0 +1,38 @@
+    ld x5, 40(x3)
+    ld x6, 56(x3)
+    ld x7, 64(x3)
+    ld x4, 0(x3)
+    srli x10, x2, 2
+    li x11, 8
+row_loop:
+    bge x10, x7, done
+    beq x11, x0, done
+    mul x12, x10, x6
+    slli x12, x12, 2
+    add x12, x5, x12
+    vsetvli x0, x0, e32
+    vmv.v.i v4, 0
+    addi x13, x6, 0
+    addi x14, x4, 0
+dot_loop:
+    bge x0, x13, dot_done
+    vle32.v v1, (x12)
+    vle32.v v2, (x14)
+    vfmacc.vv v4, v1, v2
+    addi x12, x12, 32
+    addi x14, x14, 32
+    addi x13, x13, -8
+    jal x0, dot_loop
+dot_done:
+    vmv.v.i v5, 0
+    vfredusum.vs v6, v4, v5
+    vfmv.f.s f10, v6
+    slli x15, x10, 2
+    ld x16, 24(x3)
+    add x15, x16, x15
+    fsw f10, 0(x15)
+    addi x10, x10, 1
+    addi x11, x11, -1
+    jal x0, row_loop
+done:
+    halt

@@ -1,0 +1,21 @@
+    ld x4, 0(x3)
+    ld x5, 48(x3)
+    ld x6, 56(x3)
+    srli x6, x6, 3
+    ld x7, 8(x3)
+    ld x8, 72(x3)
+    divu x9, x2, x8
+    divu x10, x7, x8
+    vsetvli x0, x0, e32
+    addi x11, x9, 0
+cploop:
+    bge x11, x6, cpdone
+    slli x12, x11, 5
+    add x13, x5, x12
+    vle32.v v1, (x13)
+    add x14, x4, x12
+    vse32.v v1, (x14)
+    add x11, x11, x10
+    jal x0, cploop
+cpdone:
+    halt

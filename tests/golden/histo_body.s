@@ -1,0 +1,9 @@
+    vsetvli x0, x0, e32
+    vle32.v v1, (x1)
+    ld x6, 48(x3)
+    vsrl.vx v1, v1, x6
+    vsll.vi v1, v1, 2
+    ld x4, 0(x3)
+    vmv.v.i v2, 1
+    vamoaddei32.v v2, (x4), v1
+    halt

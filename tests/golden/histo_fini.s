@@ -1,0 +1,21 @@
+    ld x4, 0(x3)
+    ld x5, 40(x3)
+    ld x6, 8(x3)
+    ld x7, 64(x3)
+    divu x8, x2, x7
+    divu x9, x6, x7
+    ld x13, 56(x3)
+    addi x10, x8, 0
+floop:
+    bge x10, x5, fdone
+    slli x11, x10, 2
+    add x12, x4, x11
+    lw x14, 0(x12)
+    beq x14, x0, fskip
+    add x15, x13, x11
+    amoadd.w x14, x14, (x15)
+fskip:
+    add x10, x10, x9
+    jal x0, floop
+fdone:
+    halt

@@ -1,0 +1,16 @@
+    ld x4, 0(x3)
+    ld x5, 40(x3)
+    ld x6, 8(x3)
+    ld x7, 64(x3)
+    divu x8, x2, x7
+    divu x9, x6, x7
+    addi x10, x8, 0
+zloop:
+    bge x10, x5, zdone
+    slli x11, x10, 2
+    add x12, x4, x11
+    sw x0, 0(x12)
+    add x10, x10, x9
+    jal x0, zloop
+zdone:
+    halt

@@ -1,0 +1,51 @@
+    ld x5, 40(x3)
+    ld x6, 0(x5)
+    ld x7, 48(x3)
+    ld x8, 56(x3)
+    ld x9, 64(x3)
+walk:
+    beq x6, x0, miss
+    ld x10, 0(x6)
+    bne x10, x7, next
+    ld x10, 8(x6)
+    bne x10, x8, next
+    ld x10, 16(x6)
+    bne x10, x9, next
+    ld x11, 80(x3)
+    bne x11, x0, do_set
+    ld x12, 72(x3)
+    addi x13, x6, 32
+    vsetvli x0, x0, e64
+    vle64.v v1, (x13)
+    vse64.v v1, (x12)
+    addi x13, x13, 32
+    addi x14, x12, 32
+    vle64.v v2, (x13)
+    vse64.v v2, (x14)
+    sd x6, 64(x12)
+    halt
+do_set:
+    ld x12, 88(x3)
+    sd x12, 32(x6)
+    ld x12, 96(x3)
+    sd x12, 40(x6)
+    ld x12, 104(x3)
+    sd x12, 48(x6)
+    ld x12, 112(x3)
+    sd x12, 56(x6)
+    ld x12, 120(x3)
+    sd x12, 64(x6)
+    ld x12, 128(x3)
+    sd x12, 72(x6)
+    ld x12, 136(x3)
+    sd x12, 80(x6)
+    ld x12, 144(x3)
+    sd x12, 88(x6)
+    halt
+next:
+    ld x6, 24(x6)
+    jal x0, walk
+miss:
+    ld x12, 72(x3)
+    sd x0, 64(x12)
+    halt

@@ -1,0 +1,19 @@
+    vsetvli x0, x0, e32
+    vle32.v v1, (x1)
+    ld x5, 40(x3)
+    ld x6, 48(x3)
+    vmsge.vx v2, v1, x5
+    vmsle.vx v3, v1, x6
+    vand.vv v2, v2, v3
+    vsetvli x0, x0, e8
+    vmv.x.s x7, v2
+    ld x8, 56(x3)
+    srli x9, x2, 5
+    add x8, x8, x9
+    ld x10, 64(x3)
+    beq x10, x0, store
+    lbu x11, 0(x8)
+    and x7, x7, x11
+store:
+    sb x7, 0(x8)
+    halt

@@ -1,0 +1,10 @@
+    ld x5, 40(x3)
+    ld x6, 48(x3)
+    vsetvli x0, x0, e32
+    add x7, x5, x2
+    vle32.v v1, (x7)
+    add x8, x6, x2
+    vle32.v v2, (x8)
+    vfdiv.vv v3, v1, v2
+    vse32.v v3, (x1)
+    halt

@@ -1,0 +1,46 @@
+    ld x5, 40(x3)
+    ld x6, 48(x3)
+    ld x7, 56(x3)
+    ld x9, 64(x3)
+    ld x20, 72(x3)
+    fmv.w.x f11, x20
+    ld x20, 80(x3)
+    fmv.w.x f12, x20
+    srli x10, x2, 3
+    li x11, 4
+    addi x19, x1, 0
+row_loop:
+    bge x10, x9, done
+    beq x11, x0, done
+    ld x12, 0(x19)
+    ld x13, 8(x19)
+    sub x14, x13, x12
+    vsetvli x0, x0, e32
+    vmv.v.i v4, 0
+nnz_loop:
+    bge x0, x14, row_done
+    vsetvli x15, x14, e32
+    slli x16, x12, 2
+    add x17, x5, x16
+    vle32.v v1, (x17)
+    vsll.vi v1, v1, 2
+    vluxei32.v v3, (x6), v1
+    vfadd.vv v4, v4, v3
+    sub x14, x14, x15
+    add x12, x12, x15
+    jal x0, nnz_loop
+row_done:
+    vsetvli x0, x0, e32
+    vmv.v.i v5, 0
+    vfredusum.vs v6, v4, v5
+    vfmv.f.s f10, v6
+    fmadd.s f13, f10, f12, f11
+    slli x16, x10, 2
+    add x17, x7, x16
+    fsw f13, 0(x17)
+    addi x10, x10, 1
+    addi x19, x19, 8
+    addi x11, x11, -1
+    jal x0, row_loop
+done:
+    halt

@@ -1,0 +1,44 @@
+    ld x5, 40(x3)
+    ld x6, 48(x3)
+    ld x7, 56(x3)
+    ld x8, 64(x3)
+    ld x9, 72(x3)
+    srli x10, x2, 3
+    li x11, 4
+    addi x19, x1, 0
+row_loop:
+    bge x10, x9, done
+    beq x11, x0, done
+    ld x12, 0(x19)
+    ld x13, 8(x19)
+    sub x14, x13, x12
+    vsetvli x0, x0, e32
+    vmv.v.i v4, 0
+nnz_loop:
+    bge x0, x14, row_done
+    vsetvli x15, x14, e32
+    slli x16, x12, 2
+    add x17, x5, x16
+    vle32.v v1, (x17)
+    add x18, x6, x16
+    vle32.v v2, (x18)
+    vsll.vi v1, v1, 2
+    vluxei32.v v3, (x7), v1
+    vfmacc.vv v4, v2, v3
+    sub x14, x14, x15
+    add x12, x12, x15
+    jal x0, nnz_loop
+row_done:
+    vsetvli x0, x0, e32
+    vmv.v.i v5, 0
+    vfredusum.vs v6, v4, v5
+    vfmv.f.s f10, v6
+    slli x16, x10, 2
+    add x17, x8, x16
+    fsw f10, 0(x17)
+    addi x10, x10, 1
+    addi x19, x19, 8
+    addi x11, x11, -1
+    jal x0, row_loop
+done:
+    halt

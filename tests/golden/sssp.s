@@ -1,0 +1,37 @@
+    ld x5, 40(x3)
+    ld x6, 48(x3)
+    ld x7, 56(x3)
+    ld x9, 64(x3)
+    srli x10, x2, 3
+    li x11, 4
+    addi x19, x1, 0
+row_loop:
+    bge x10, x9, done
+    beq x11, x0, done
+    slli x16, x10, 3
+    add x17, x7, x16
+    ld x20, 0(x17)
+    li x21, 4611686018427387903
+    bge x20, x21, next_row
+    ld x12, 0(x19)
+    ld x13, 8(x19)
+edge_loop:
+    bge x12, x13, next_row
+    slli x16, x12, 2
+    add x17, x5, x16
+    lwu x22, 0(x17)
+    add x18, x6, x16
+    lwu x23, 0(x18)
+    add x24, x20, x23
+    slli x25, x22, 3
+    add x26, x7, x25
+    amomin.d x27, x24, (x26)
+    addi x12, x12, 1
+    jal x0, edge_loop
+next_row:
+    addi x10, x10, 1
+    addi x19, x19, 8
+    addi x11, x11, -1
+    jal x0, row_loop
+done:
+    halt

@@ -1,0 +1,88 @@
+//! Golden-file disassembly snapshots for the seven workload kernel
+//! families (all fifteen `programs/*.s` sources).
+//!
+//! Each corpus program's **canonical disassembly** is pinned under
+//! `tests/golden/<name>.s`. The snapshots catch unintended changes to
+//! either side of the toolchain: an assembler change that decodes a source
+//! differently, or a disassembler change that renders a program
+//! differently, shows up as a golden diff.
+//!
+//! To regenerate after an intentional dialect change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_kernels
+//! ```
+//!
+//! then review the diff like any other source change.
+
+use std::path::PathBuf;
+
+use m2ndp_riscv::{assemble, disassemble};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn corpus_disassembly_matches_golden_snapshots() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let dir = golden_dir();
+    let mut mismatches = Vec::new();
+    for p in m2ndp_workloads::programs::corpus() {
+        let program = assemble(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let text = disassemble(&program).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let path = dir.join(format!("{}.s", p.name));
+        if update {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &text).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden snapshot {} ({e}); run UPDATE_GOLDEN=1 \
+                 cargo test --test golden_kernels",
+                p.name,
+                path.display()
+            )
+        });
+        if golden != text {
+            mismatches.push(p.name);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden disassembly drift in {mismatches:?}; if intentional, regenerate \
+         with UPDATE_GOLDEN=1 cargo test --test golden_kernels"
+    );
+}
+
+#[test]
+fn golden_snapshots_reassemble_to_the_corpus_programs() {
+    // The snapshots are not just display text: each one assembles back to
+    // the exact program its source produces (instruction-for-instruction
+    // and label-for-label).
+    for p in m2ndp_workloads::programs::corpus() {
+        let path = golden_dir().join(format!("{}.s", p.name));
+        let Ok(golden) = std::fs::read_to_string(&path) else {
+            continue; // covered (with a better message) by the test above
+        };
+        let original = assemble(p.source).unwrap();
+        let from_golden = assemble(&golden).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        assert_eq!(from_golden, original, "{}", p.name);
+    }
+}
+
+#[test]
+fn no_stale_golden_snapshots() {
+    let names: Vec<String> = m2ndp_workloads::programs::corpus()
+        .iter()
+        .map(|p| format!("{}.s", p.name))
+        .collect();
+    for entry in std::fs::read_dir(golden_dir()).expect("tests/golden exists") {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            names.contains(&name),
+            "stale golden snapshot {name}: no matching corpus program"
+        );
+    }
+}

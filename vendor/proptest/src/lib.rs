@@ -103,8 +103,15 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 256 cases, overridable via the `PROPTEST_CASES` environment
+        /// variable (as in the real crate). An explicit
+        /// [`Config::with_cases`] always wins over the environment.
         fn default() -> Self {
-            Self { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Self { cases }
         }
     }
 
@@ -375,6 +382,13 @@ mod tests {
 
     #[test]
     fn config_default_cases() {
-        assert_eq!(ProptestConfig::default().cases, 256);
+        // The default honours PROPTEST_CASES (so CI can raise coverage
+        // without code changes); compute the expectation the same way.
+        let expected = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        assert_eq!(ProptestConfig::default().cases, expected);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
     }
 }
