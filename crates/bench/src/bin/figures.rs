@@ -23,6 +23,13 @@
 //!                          cell/fleet worker counts, and each cell's worker
 //!                          id — the perf-trajectory artifact; wall times
 //!                          never enter the result JSON)
+//!   --trace DIR            also re-run every selected serving cell with
+//!                          the observability layer on and write one Chrome
+//!                          trace-event JSON per cell to DIR (load in
+//!                          Perfetto / chrome://tracing, or feed to the
+//!                          `m2ndp-trace` CLI). Tracing is opt-in and
+//!                          side-buffered: the sweep results above stay
+//!                          byte-identical
 //!   --snapshot FILE        staleness gate: every cell computed by this run
 //!                          must exist in FILE (a committed consolidated
 //!                          BENCH_RESULTS.json) with byte-identical values;
@@ -52,6 +59,7 @@ struct Options {
     check: bool,
     out: String,
     timing: Option<String>,
+    trace: Option<String>,
     snapshot: Option<String>,
     list: bool,
     quiet: bool,
@@ -60,7 +68,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: figures [--only fig10a,fig10c,...] [--fast] [--jobs N] [--fleet-jobs N] \
-         [--check] [--out DIR] [--timing FILE] [--snapshot FILE] [--list] [--quiet]\nfigures: {}",
+         [--check] [--out DIR] [--timing FILE] [--trace DIR] [--snapshot FILE] [--list] \
+         [--quiet]\nfigures: {}",
         FigId::all().map(FigId::id).join(", ")
     );
     std::process::exit(2);
@@ -77,6 +86,7 @@ fn parse_args() -> Options {
         check: false,
         out: "target/figures".to_string(),
         timing: None,
+        trace: None,
         snapshot: None,
         list: false,
         quiet: false,
@@ -125,6 +135,7 @@ fn parse_args() -> Options {
             "--check" => opts.check = true,
             "--out" => opts.out = args.next().unwrap_or_else(|| usage()),
             "--timing" => opts.timing = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--snapshot" => opts.snapshot = Some(args.next().unwrap_or_else(|| usage())),
             "--list" => opts.list = true,
             "--quiet" => opts.quiet = true,
@@ -361,6 +372,40 @@ fn main() -> ExitCode {
     if let Err(e) = std::fs::write(&consolidated, text + "\n") {
         eprintln!("cannot write {}: {e}", consolidated.display());
         return ExitCode::from(2);
+    }
+
+    // Opt-in observability export: re-run the serving cells traced and
+    // write one Chrome trace-event JSON each. Happens after the sweep
+    // output is on disk so traces can never perturb the result files.
+    if let Some(trace_dir) = &opts.trace {
+        let trace_dir = std::path::Path::new(trace_dir);
+        if let Err(e) = std::fs::create_dir_all(trace_dir) {
+            eprintln!("cannot create {}: {e}", trace_dir.display());
+            return ExitCode::from(2);
+        }
+        let mut traced = 0usize;
+        for cell in &all_cells {
+            let Some(json) = sweep::traced_cell_json(cell, budget.fleet_jobs) else {
+                continue;
+            };
+            let name = format!(
+                "{}_{}.trace.json",
+                cell.fig.id(),
+                cell.key.replace('/', "_")
+            );
+            let path = trace_dir.join(name);
+            if let Err(e) = std::fs::write(&path, json.pretty() + "\n") {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            traced += 1;
+        }
+        if !opts.quiet {
+            eprintln!(
+                "{traced} trace(s) written to {} (serving cells only)",
+                trace_dir.display()
+            );
+        }
     }
 
     if !opts.quiet {

@@ -15,15 +15,16 @@
 //!   executor, derived paper-comparable metrics, and their serialization
 //!   (the `figures` CLI binary and the per-figure bench targets are both
 //!   thin fronts over it);
-//! * [`json`] — a dependency-free, deterministic JSON value used for the
-//!   emitted results;
+//! * [`json`] — re-export of [`m2ndp::sim::json`], the dependency-free,
+//!   deterministic JSON value used for the emitted results (shared with the
+//!   `m2ndp-asm` and `m2ndp-trace` CLIs);
 //! * [`golden`] — paper-anchored tolerance bands and the regression gate
 //!   behind `figures --check`.
 
 #![warn(missing_docs)]
 
 pub mod golden;
-pub mod json;
+pub use m2ndp::sim::json;
 pub mod platforms;
 pub mod runner;
 pub mod sweep;

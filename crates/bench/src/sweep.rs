@@ -996,6 +996,39 @@ fn run_serve(
     (p95, stats, extra)
 }
 
+/// Re-runs one serving cell with tracing on and returns its Chrome
+/// trace-event JSON (`None` for non-serving cells). Tracing is opt-in and
+/// additive: the traced re-run buffers events on the side while the
+/// simulation itself stays deterministic, so the untraced sweep results
+/// are unaffected. Used by `figures --trace DIR`.
+pub fn traced_cell_json(cell: &CellSpec, fleet_jobs: usize) -> Option<Json> {
+    let (mechanism, devices, rate_per_sec) = match cell.work {
+        Work::Serve {
+            mechanism,
+            devices,
+            rate_per_sec,
+        } => (mechanism, devices as usize, rate_per_sec),
+        Work::ServeSingleRef { rate_per_sec } => (OffloadMechanism::M2Func, 0, rate_per_sec),
+        _ => return None,
+    };
+    let mut backend = if devices == 0 {
+        serve::ServeBackend::Device(Box::new(CxlM2ndpDevice::new(serve_device_cfg())))
+    } else {
+        let mut fleet = Fleet::new(FleetConfig {
+            devices,
+            device: serve_device_cfg(),
+            switch: SwitchConfig::default(),
+            hdm_bytes_per_device: 1 << 30,
+        });
+        fleet.set_parallelism(fleet_jobs);
+        serve::ServeBackend::Fleet(Box::new(fleet))
+    };
+    let mut wl = serve::KvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
+    let cfg = serve::ServeConfig::with_defaults(mechanism).trace(true);
+    let report = serve::run(&mut backend, &mut wl, &cfg, &serve_tenants(rate_per_sec));
+    Some(report.chrome_trace())
+}
+
 /// One executed cell plus its execution metadata: wall-clock seconds and
 /// the pool worker that ran it — the raw material of the `--timing`
 /// artifact. Wall time and worker assignment are inherently

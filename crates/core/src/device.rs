@@ -23,10 +23,11 @@ use m2ndp_cache::{Access, CacheResult, SectoredCache};
 use m2ndp_cxl::{BackInvalidation, CxlLink, CxlMemPacket, PacketFilter};
 use m2ndp_mem::{DramDevice, MainMemory, MemReq, ReqId, ReqIdAllocator, ReqSource};
 use m2ndp_noc::{Crossbar, CrossbarConfig};
+use m2ndp_sim::trace::{EventKind, Lane, TraceEvent, TraceSink, Tracer};
 use m2ndp_sim::{Counter, Cycle, EventQueue};
 
 use crate::config::M2ndpConfig;
-use crate::engine::{Engine, RequestKind, UnitRequest, SECTOR_BYTES};
+use crate::engine::{Engine, EngineEvent, RequestKind, UnitRequest, SECTOR_BYTES};
 use crate::kernel::{KernelId, KernelInstanceId, KernelRegistry, KernelSpec, LaunchArgs};
 use crate::m2func::InstanceStatus;
 
@@ -166,24 +167,38 @@ impl DeviceStats {
     /// order — the single source of truth for serializers (the `figures`
     /// sweep harness) and table printers, so adding a field here is the only
     /// step needed to get it into emitted results.
-    pub fn metrics(&self) -> [(&'static str, StatValue); 13] {
-        [
-            ("cycles", StatValue::U64(self.cycles)),
-            ("dram_bytes", StatValue::U64(self.dram_bytes)),
-            ("dram_row_hit_rate", StatValue::F64(self.dram_row_hit_rate)),
+    ///
+    /// This is the workspace-wide metrics shape: `Fleet::metrics`,
+    /// `ServeReport::metrics`, and `TenantReport::metrics` (in
+    /// `m2ndp_host::serve`) return the same `Vec<(String, StatValue)>`, so
+    /// the figure emitters and the `m2ndp-trace` CLI read one API.
+    pub fn metrics(&self) -> Vec<(String, StatValue)> {
+        vec![
+            ("cycles".to_string(), StatValue::U64(self.cycles)),
+            ("dram_bytes".to_string(), StatValue::U64(self.dram_bytes)),
             (
-                "dram_bw_utilization",
+                "dram_row_hit_rate".to_string(),
+                StatValue::F64(self.dram_row_hit_rate),
+            ),
+            (
+                "dram_bw_utilization".to_string(),
                 StatValue::F64(self.dram_bw_utilization),
             ),
-            ("link_m2s_bytes", StatValue::U64(self.link_m2s_bytes)),
-            ("link_s2m_bytes", StatValue::U64(self.link_s2m_bytes)),
-            ("l2_accesses", StatValue::U64(self.l2_accesses)),
-            ("l2_hit_rate", StatValue::F64(self.l2_hit_rate)),
-            ("instrs", StatValue::U64(self.instrs)),
-            ("mem_reqs", StatValue::U64(self.mem_reqs)),
-            ("spad_bytes", StatValue::U64(self.spad_bytes)),
-            ("l1_hits", StatValue::U64(self.l1_hits)),
-            ("bi_snoops", StatValue::U64(self.bi_snoops)),
+            (
+                "link_m2s_bytes".to_string(),
+                StatValue::U64(self.link_m2s_bytes),
+            ),
+            (
+                "link_s2m_bytes".to_string(),
+                StatValue::U64(self.link_s2m_bytes),
+            ),
+            ("l2_accesses".to_string(), StatValue::U64(self.l2_accesses)),
+            ("l2_hit_rate".to_string(), StatValue::F64(self.l2_hit_rate)),
+            ("instrs".to_string(), StatValue::U64(self.instrs)),
+            ("mem_reqs".to_string(), StatValue::U64(self.mem_reqs)),
+            ("spad_bytes".to_string(), StatValue::U64(self.spad_bytes)),
+            ("l1_hits".to_string(), StatValue::U64(self.l1_hits)),
+            ("bi_snoops".to_string(), StatValue::U64(self.bi_snoops)),
         ]
     }
 }
@@ -240,6 +255,10 @@ pub struct CxlM2ndpDevice {
     m2func_returns: HashMap<(u16, u64), i64>,
     /// Host reads served per cycle cap bookkeeping.
     pub stats_extra: Counter,
+    /// Opt-in trace sink (off by default; see [`m2ndp_sim::trace`]).
+    tracer: Tracer,
+    /// Device index stamped on emitted trace events.
+    trace_dev: u32,
 }
 
 impl CxlM2ndpDevice {
@@ -270,8 +289,131 @@ impl CxlM2ndpDevice {
             host_inbound: EventQueue::new(),
             m2func_returns: HashMap::new(),
             stats_extra: Counter::new(),
+            tracer: Tracer::off(),
+            trace_dev: 0,
             cfg,
         }
+    }
+
+    // ----- tracing -----
+
+    /// Attaches a trace sink; events are stamped with device index
+    /// `device`. Also turns on the engine's event recording. Attaching a
+    /// disabled sink (e.g. [`m2ndp_sim::trace::NullSink`]) leaves tracing
+    /// off entirely.
+    pub fn set_tracer(&mut self, device: u32, sink: Box<dyn TraceSink>) {
+        self.tracer = Tracer::new(sink);
+        self.trace_dev = device;
+        self.engine.set_trace(self.tracer.on());
+    }
+
+    /// Whether tracing is on.
+    pub fn tracing(&self) -> bool {
+        self.tracer.on()
+    }
+
+    /// Direct access to the tracer (fleet/serve layers emit switch and
+    /// request events through the owning device's sink).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// The device index stamped on this device's trace events.
+    pub fn trace_device(&self) -> u32 {
+        self.trace_dev
+    }
+
+    /// Drains buffered engine events into the sink, then detaches it and
+    /// returns everything it recorded (tracing is off afterwards).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.drain_engine_trace();
+        self.engine.set_trace(false);
+        self.tracer.finish()
+    }
+
+    /// Converts queued engine cycle-domain events to wall-ns trace events.
+    fn drain_engine_trace(&mut self) {
+        if !self.tracer.on() || !self.engine.trace_on() {
+            return;
+        }
+        let freq = self.cfg.engine.freq;
+        let dev = self.trace_dev;
+        for ev in self.engine.take_trace() {
+            let (ts_ns, lane, kind) = match ev {
+                EngineEvent::Launched {
+                    at,
+                    instance,
+                    kernel,
+                } => (
+                    freq.ns_from_cycles(at),
+                    Lane::Controller,
+                    EventKind::KernelLaunch {
+                        instance,
+                        kernel,
+                        name: self.kernel_name(kernel),
+                    },
+                ),
+                EngineEvent::Retired {
+                    at,
+                    instance,
+                    kernel,
+                    started,
+                } => (
+                    freq.ns_from_cycles(started),
+                    Lane::Controller,
+                    EventKind::KernelRun {
+                        instance,
+                        kernel,
+                        name: self.kernel_name(kernel),
+                        dur_ns: freq.ns_from_cycles(at.saturating_sub(started)),
+                    },
+                ),
+                EngineEvent::WaveSpawn {
+                    at,
+                    unit,
+                    instance,
+                    count,
+                } => (
+                    freq.ns_from_cycles(at),
+                    Lane::Unit(unit as u16),
+                    EventKind::WaveSpawn { instance, count },
+                ),
+                EngineEvent::WaveDrain { at, instance } => (
+                    freq.ns_from_cycles(at),
+                    Lane::Controller,
+                    EventKind::WaveDrain { instance },
+                ),
+            };
+            self.tracer.emit(|| TraceEvent {
+                ts_ns,
+                device: dev,
+                lane,
+                kind,
+            });
+        }
+    }
+
+    /// Registered kernel name for trace annotation (`k<id>` if the kernel
+    /// was unregistered since launch).
+    fn kernel_name(&self, kernel: u32) -> String {
+        self.registry
+            .get(KernelId(kernel))
+            .map_or_else(|| format!("k{kernel}"), |s| s.name.clone())
+    }
+
+    /// Canonical disassembly of every registered kernel body, in id order:
+    /// `(kernel id, name, disassembly)`. Exported alongside traces so kernel
+    /// spans can be annotated at instruction level (kernels whose bodies the
+    /// disassembler cannot render canonically are skipped).
+    pub fn kernel_disassembly(&self) -> Vec<(u32, String, String)> {
+        self.registry
+            .iter()
+            .filter_map(|(id, spec)| {
+                m2ndp_riscv::disassemble(&spec.body)
+                    .ok()
+                    .map(|text| (id.0, spec.name.clone(), text))
+            })
+            .collect()
     }
 
     /// Attaches a remote passive CXL memory (its own L2 + DRAM) reached over
@@ -474,6 +616,9 @@ impl CxlM2ndpDevice {
     pub fn tick(&mut self) {
         let now = self.now;
         self.engine.tick(now, &mut self.mem);
+        if self.tracer.on() {
+            self.drain_engine_trace();
+        }
         self.route_engine_requests(now);
         self.accept_host_packets(now);
         self.run_mem_system(now, /*remote=*/ false);
@@ -739,6 +884,24 @@ impl CxlM2ndpDevice {
                     },
                     work.token,
                 );
+                // Stalled accesses retry next cycle; only resolved ones
+                // trace (so hit + miss event counts match the stats).
+                let resolved_hit = match &result {
+                    CacheResult::Hit { .. } | CacheResult::WriteForward { .. } => Some(true),
+                    CacheResult::Miss { .. } | CacheResult::MergedMiss => Some(false),
+                    CacheResult::Stalled => None,
+                };
+                if let Some(hit) = resolved_hit {
+                    self.tracer.emit(|| TraceEvent {
+                        ts_ns: self.cfg.engine.freq.ns_from_cycles(now),
+                        device: self.trace_dev,
+                        lane: Lane::L2Slice(slice_idx as u16),
+                        kind: EventKind::L2Access {
+                            hit,
+                            addr: work.addr,
+                        },
+                    });
+                }
                 match result {
                     CacheResult::Hit { ready_at } | CacheResult::WriteForward { ready_at } => {
                         Self::respond(
@@ -766,6 +929,15 @@ impl CxlM2ndpDevice {
                             }
                         }
                         if let Some((wb_addr, wb_bytes)) = writeback {
+                            self.tracer.emit(|| TraceEvent {
+                                ts_ns: self.cfg.engine.freq.ns_from_cycles(now),
+                                device: self.trace_dev,
+                                lane: Lane::L2Slice(slice_idx as u16),
+                                kind: EventKind::L2Evict {
+                                    addr: wb_addr,
+                                    bytes: wb_bytes,
+                                },
+                            });
                             let id = self.ids.alloc();
                             let r = MemReq::write(id, wb_addr, wb_bytes, ReqSource::Internal);
                             sys.dram_origin.insert(id, DramOrigin::Drain);
@@ -799,6 +971,15 @@ impl CxlM2ndpDevice {
         // 2. DRAM.
         sys.dram.tick(now);
         while let Some(done) = sys.dram.pop_completed(now) {
+            self.tracer.emit(|| TraceEvent {
+                ts_ns: self.cfg.engine.freq.ns_from_cycles(now),
+                device: self.trace_dev,
+                lane: Lane::DramChannel(sys.dram.channel_of(done.addr) as u16),
+                kind: EventKind::DramTxn {
+                    bytes: done.bytes,
+                    write: done.write,
+                },
+            });
             match sys.dram_origin.remove(&done.id) {
                 Some(DramOrigin::L2Fill { slice }) => {
                     let s = &mut sys.slices[slice as usize];

@@ -319,6 +319,53 @@ pub struct EngineStats {
     pub lanes_possible: Counter,
 }
 
+/// One engine-side trace record, in the engine's cycle domain. The owning
+/// device drains these each tick ([`Engine::take_trace`]), converts cycles
+/// to nanoseconds, and forwards them into its
+/// [`m2ndp_sim::trace::Tracer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A kernel launch was accepted into the launch buffer.
+    Launched {
+        /// Acceptance cycle.
+        at: Cycle,
+        /// Kernel instance id.
+        instance: u32,
+        /// Registered kernel id.
+        kernel: u32,
+    },
+    /// A kernel instance retired.
+    Retired {
+        /// Retire cycle.
+        at: Cycle,
+        /// Kernel instance id.
+        instance: u32,
+        /// Registered kernel id.
+        kernel: u32,
+        /// Admission cycle (span start for the kernel-run event).
+        started: Cycle,
+    },
+    /// A wave of µthread contexts was placed onto one unit this cycle.
+    WaveSpawn {
+        /// Placement cycle.
+        at: Cycle,
+        /// Receiving unit index.
+        unit: u32,
+        /// Kernel instance id.
+        instance: u32,
+        /// Contexts placed.
+        count: u32,
+    },
+    /// An instance's outstanding µthreads drained to zero (iteration
+    /// barrier, phase hand-off, or completion).
+    WaveDrain {
+        /// Drain cycle.
+        at: Cycle,
+        /// Kernel instance id.
+        instance: u32,
+    },
+}
+
 /// The execution engine.
 #[derive(Debug)]
 pub struct Engine {
@@ -335,6 +382,9 @@ pub struct Engine {
     free_arg_slots: Vec<u32>,
     /// Engine statistics.
     pub stats: EngineStats,
+    /// Trace buffer; `None` when tracing is off (the default), so every
+    /// emit site is one discriminant check.
+    trace: Option<Vec<EngineEvent>>,
 }
 
 /// Memory interface used during functional execution: rewrites the
@@ -409,6 +459,37 @@ impl Engine {
             pending_iter_update: Vec::new(),
             free_arg_slots,
             stats: EngineStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables or disables engine-side trace recording. Off by default;
+    /// when off, every emit site reduces to a single `Option` check and the
+    /// engine's behavior is bit-identical to an uninstrumented build.
+    pub fn set_trace(&mut self, on: bool) {
+        if on {
+            if self.trace.is_none() {
+                self.trace = Some(Vec::new());
+            }
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// Whether engine-side trace recording is on.
+    pub fn trace_on(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drains the buffered trace events (recording stays on).
+    pub fn take_trace(&mut self) -> Vec<EngineEvent> {
+        self.trace.as_mut().map_or_else(Vec::new, std::mem::take)
+    }
+
+    #[inline]
+    fn push_ev(trace: &mut Option<Vec<EngineEvent>>, f: impl FnOnce() -> EngineEvent) {
+        if let Some(buf) = trace {
+            buf.push(f());
         }
     }
 
@@ -493,6 +574,11 @@ impl Engine {
             arg_slot: u32::MAX,
         };
         let _ = contexts;
+        Self::push_ev(&mut self.trace, || EngineEvent::Launched {
+            at: now,
+            instance: inst.id.0,
+            kernel: inst.launch.kernel_id.0,
+        });
         self.queued.push_back(inst);
         true
     }
@@ -629,6 +715,12 @@ impl Engine {
                 inst.phase = InstPhase::Done;
                 inst.finished_at = Some(now);
                 self.free_arg_slots.push(inst.arg_slot);
+                Self::push_ev(&mut self.trace, || EngineEvent::Retired {
+                    at: now,
+                    instance: inst.id.0,
+                    kernel: inst.launch.kernel_id.0,
+                    started: now,
+                });
                 self.instances.push(inst);
                 continue;
             }
@@ -693,10 +785,12 @@ impl Engine {
 
     /// NDP-mode spawning: init/fini once per slot; body µthreads mapped to
     /// pool granules, interleaved across units (§III-E load balancing).
-    fn spawn_fine_grained(&mut self, _now: Cycle) {
+    fn spawn_fine_grained(&mut self, now: Cycle) {
         let units = self.cfg.units as usize;
         let total_slots = self.cfg.total_slots();
+        let tracing = self.trace.is_some();
         for inst_idx in 0..self.instances.len() {
+            let mut wave_counts: Vec<u32> = if tracing { vec![0; units] } else { Vec::new() };
             let (phase, id) = {
                 let inst = &self.instances[inst_idx];
                 (inst.phase, inst.arg_slot)
@@ -724,9 +818,15 @@ impl Engine {
                     self.place(unit_idx, ss, inst_idx, prog_phase, vec![ctx], None, 1);
                     self.instances[inst_idx].once_spawned += 1;
                     self.instances[inst_idx].outstanding += 1;
+                    if tracing {
+                        wave_counts[unit_idx] += 1;
+                    }
                 },
                 InstPhase::Body => {
                     // Fill free slots unit by unit with that unit's granules.
+                    // (`wave_counts` is deliberately empty when tracing is
+                    // off, so this cannot iterate over it.)
+                    #[allow(clippy::needless_range_loop)]
                     for unit_idx in 0..units {
                         loop {
                             let inst = &self.instances[inst_idx];
@@ -747,10 +847,26 @@ impl Engine {
                             self.place(unit_idx, ss, inst_idx, Phase::Body, vec![ctx], None, 1);
                             self.instances[inst_idx].unit_cursor[unit_idx] += 1;
                             self.instances[inst_idx].outstanding += 1;
+                            if tracing {
+                                wave_counts[unit_idx] += 1;
+                            }
                         }
                     }
                 }
                 _ => {}
+            }
+            if tracing {
+                let instance = self.instances[inst_idx].id.0;
+                for (unit, &count) in wave_counts.iter().enumerate() {
+                    if count > 0 {
+                        Self::push_ev(&mut self.trace, || EngineEvent::WaveSpawn {
+                            at: now,
+                            unit: unit as u32,
+                            instance,
+                            count,
+                        });
+                    }
+                }
             }
         }
     }
@@ -890,6 +1006,13 @@ impl Engine {
                 self.stats
                     .addr_calc_instrs
                     .add((self.cfg.addr_calc_overhead * batch) as u64);
+                let instance = self.instances[inst_idx].id.0;
+                Self::push_ev(&mut self.trace, || EngineEvent::WaveSpawn {
+                    at: _now,
+                    unit: unit_idx as u32,
+                    instance,
+                    count: batch,
+                });
             }
         }
     }
@@ -1503,6 +1626,10 @@ impl Engine {
                 inst.once_done += 1;
                 inst.outstanding -= 1;
                 if inst.once_done == total_slots {
+                    Self::push_ev(&mut self.trace, || EngineEvent::WaveDrain {
+                        at: now,
+                        instance: inst.id.0,
+                    });
                     match inst.phase {
                         InstPhase::Init => {
                             inst.phase = InstPhase::Body;
@@ -1513,6 +1640,12 @@ impl Engine {
                             inst.phase = InstPhase::Done;
                             inst.finished_at = Some(now);
                             self.free_arg_slots.push(inst.arg_slot);
+                            Self::push_ev(&mut self.trace, || EngineEvent::Retired {
+                                at: now,
+                                instance: inst.id.0,
+                                kernel: inst.launch.kernel_id.0,
+                                started: inst.started_at,
+                            });
                         }
                         _ => {}
                     }
@@ -1522,6 +1655,10 @@ impl Engine {
                 inst.outstanding -= 1;
                 if tb_mode {
                     if inst.next_tb >= inst.total_tbs && inst.outstanding == 0 {
+                        Self::push_ev(&mut self.trace, || EngineEvent::WaveDrain {
+                            at: now,
+                            instance: inst.id.0,
+                        });
                         inst.body_iter += 1;
                         if inst.body_iter < inst.launch.body_iterations {
                             // Multi-body barrier (§III-G): rerun the grid.
@@ -1530,6 +1667,12 @@ impl Engine {
                             inst.phase = InstPhase::Done;
                             inst.finished_at = Some(now);
                             self.free_arg_slots.push(inst.arg_slot);
+                            Self::push_ev(&mut self.trace, || EngineEvent::Retired {
+                                at: now,
+                                instance: inst.id.0,
+                                kernel: inst.launch.kernel_id.0,
+                                started: inst.started_at,
+                            });
                         }
                     }
                     return;
@@ -1541,6 +1684,10 @@ impl Engine {
                     granule >= inst.granules
                 });
                 if all_spawned && inst.outstanding == 0 {
+                    Self::push_ev(&mut self.trace, || EngineEvent::WaveDrain {
+                        at: now,
+                        instance: inst.id.0,
+                    });
                     inst.body_iter += 1;
                     if inst.body_iter < inst.launch.body_iterations {
                         inst.unit_cursor.iter_mut().for_each(|c| *c = 0);
@@ -1556,6 +1703,12 @@ impl Engine {
                         inst.phase = InstPhase::Done;
                         inst.finished_at = Some(now);
                         self.free_arg_slots.push(inst.arg_slot);
+                        Self::push_ev(&mut self.trace, || EngineEvent::Retired {
+                            at: now,
+                            instance: inst.id.0,
+                            kernel: inst.launch.kernel_id.0,
+                            started: inst.started_at,
+                        });
                     }
                 }
             }

@@ -26,10 +26,11 @@
 //! benches, examples, and tests; [`Fleet::set_parallelism`] overrides it.
 
 use m2ndp_cxl::{CxlSwitch, HdmRouter, HostLane, SwitchConfig};
+use m2ndp_sim::trace::{EventKind, Lane, TraceEvent, TraceSink};
 use m2ndp_sim::{par, Cycle, Frequency};
 
 use crate::config::M2ndpConfig;
-use crate::device::{CxlM2ndpDevice, DeviceStats};
+use crate::device::{CxlM2ndpDevice, DeviceStats, StatValue};
 use crate::kernel::{KernelId, KernelInstanceId, KernelSpec, LaunchArgs};
 use crate::NdpApiError;
 
@@ -223,9 +224,28 @@ impl Fleet {
             .switch
             .host_to_device_unordered(issue, dev, M2FUNC_OFFLOAD_BYTES);
         self.offload_arrival[dev] = self.offload_arrival[dev].max(arrival);
+        self.trace_hop(dev, issue, arrival);
         let inst = self.devices[dev].launch(args)?;
         self.last_instance[dev] = Some(inst);
         Ok((dev, inst))
+    }
+
+    /// Emits a switch-hop trace event on device `dev`'s sink (no-op when
+    /// that device isn't tracing).
+    fn trace_hop(&mut self, dev: usize, issue: Cycle, arrival: Cycle) {
+        let clock = self.clock;
+        let device = &mut self.devices[dev];
+        let id = device.trace_device();
+        device.tracer_mut().emit(|| TraceEvent {
+            ts_ns: clock.ns_from_cycles(issue),
+            device: id,
+            lane: Lane::SwitchPort(dev as u16),
+            kind: EventKind::SwitchHop {
+                dst: dev as u16,
+                bytes: M2FUNC_OFFLOAD_BYTES,
+                dur_ns: clock.ns_from_cycles(arrival.saturating_sub(issue)),
+            },
+        });
     }
 
     /// The page-aligned fleet-global base address of device `i`'s HDM span
@@ -263,6 +283,7 @@ impl Fleet {
             .switch
             .host_to_device_unordered(issue, dev, M2FUNC_OFFLOAD_BYTES);
         self.offload_arrival[dev] = self.offload_arrival[dev].max(arrival);
+        self.trace_hop(dev, issue, arrival);
         let inst = self.devices[dev].m2func_launch(asid, args)?;
         self.last_instance[dev] = Some(inst);
         Ok((dev, inst, arrival))
@@ -303,6 +324,7 @@ impl Fleet {
         jobs: usize,
         f: impl Fn(&mut FleetShard<'_>) -> R + Sync,
     ) -> Vec<R> {
+        let clock = self.clock;
         let lanes = self.switch.host_lanes();
         let mut shards: Vec<FleetShard<'_>> = self
             .devices
@@ -318,6 +340,7 @@ impl Fleet {
                         index,
                         device,
                         lane,
+                        clock,
                         offload_arrival,
                         last_instance,
                         device_done,
@@ -443,6 +466,42 @@ impl Fleet {
         }
         agg
     }
+
+    /// Aggregate fleet statistics in the workspace-wide metrics shape
+    /// (same names and order as [`DeviceStats::metrics`]).
+    pub fn metrics(&self) -> Vec<(String, StatValue)> {
+        self.stats().metrics()
+    }
+
+    /// Attaches one trace sink per device (`make(i)` builds device `i`'s
+    /// sink); events are stamped with the fleet device index. Per-device
+    /// sinks are what keeps shard-parallel tracing deterministic: each
+    /// shard buffers privately and [`Self::take_traces`] merges in device
+    /// index order.
+    pub fn set_tracers(&mut self, make: impl Fn(usize) -> Box<dyn TraceSink>) {
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            d.set_tracer(i as u32, make(i));
+        }
+    }
+
+    /// Detaches every device's sink and returns all recorded events merged
+    /// in device index order (deterministic at any parallelism).
+    pub fn take_traces(&mut self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for d in &mut self.devices {
+            out.extend(d.take_trace());
+        }
+        out
+    }
+
+    /// Canonical disassembly of every kernel registered on device 0 (the
+    /// fleet registers kernels uniformly), for trace annotation.
+    pub fn kernel_disassembly(&self) -> Vec<(u32, String, String)> {
+        self.devices
+            .first()
+            .map(CxlM2ndpDevice::kernel_disassembly)
+            .unwrap_or_default()
+    }
 }
 
 /// One device's slice of the fleet, handed to [`Fleet::with_shards`]
@@ -456,6 +515,7 @@ pub struct FleetShard<'a> {
     index: usize,
     device: &'a mut CxlM2ndpDevice,
     lane: HostLane<'a>,
+    clock: Frequency,
     offload_arrival: &'a mut Cycle,
     last_instance: &'a mut Option<KernelInstanceId>,
     device_done: &'a mut Cycle,
@@ -496,6 +556,17 @@ impl FleetShard<'_> {
             .lane
             .host_to_device_unordered(issue, M2FUNC_OFFLOAD_BYTES);
         *self.offload_arrival = (*self.offload_arrival).max(arrival);
+        let (clock, port, id) = (self.clock, self.index as u16, self.device.trace_device());
+        self.device.tracer_mut().emit(|| TraceEvent {
+            ts_ns: clock.ns_from_cycles(issue),
+            device: id,
+            lane: Lane::SwitchPort(port),
+            kind: EventKind::SwitchHop {
+                dst: port,
+                bytes: M2FUNC_OFFLOAD_BYTES,
+                dur_ns: clock.ns_from_cycles(arrival.saturating_sub(issue)),
+            },
+        });
         *self.offload_arrival
     }
 

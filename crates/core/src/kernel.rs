@@ -197,6 +197,14 @@ impl KernelRegistry {
     pub fn is_empty(&self) -> bool {
         self.kernels.is_empty()
     }
+
+    /// Iterates over registered kernels in ascending id order (stable,
+    /// for deterministic exports like trace annotation).
+    pub fn iter(&self) -> impl Iterator<Item = (KernelId, &KernelSpec)> {
+        let mut ids: Vec<KernelId> = self.kernels.keys().copied().collect();
+        ids.sort_unstable_by_key(|k| k.0);
+        ids.into_iter().map(|id| (id, &self.kernels[&id]))
+    }
 }
 
 #[cfg(test)]

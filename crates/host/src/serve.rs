@@ -47,8 +47,10 @@
 use std::collections::VecDeque;
 
 use m2ndp_core::fleet::{Fleet, FleetShard};
-use m2ndp_core::{CxlM2ndpDevice, KernelId, KernelInstanceId, LaunchArgs};
+use m2ndp_core::{CxlM2ndpDevice, KernelId, KernelInstanceId, LaunchArgs, StatValue};
+use m2ndp_sim::json::Json;
 use m2ndp_sim::rng::{exponential, seeded, Zipf};
+use m2ndp_sim::trace::{EventKind, JsonSink, Lane, ReqPhase, TraceEvent};
 use m2ndp_sim::{FEventQueue, FHistogram, Frequency};
 use m2ndp_workloads::kvstore;
 
@@ -71,6 +73,10 @@ pub enum Arrival {
 }
 
 /// One tenant: an independent open-loop request stream.
+///
+/// Construct with the builders ([`TenantSpec::poisson`] /
+/// [`TenantSpec::trace`] plus the chainable setters); the fields stay
+/// public for back-compat and direct inspection.
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
     /// Display name (also the report key).
@@ -86,7 +92,60 @@ pub struct TenantSpec {
     pub seed: u64,
 }
 
+impl TenantSpec {
+    /// Defaults shared by both builders: 1000 requests, a 5 µs SLO
+    /// (the fig11c serving SLO), seed 0.
+    fn with_arrival(name: impl Into<String>, arrival: Arrival) -> Self {
+        Self {
+            name: name.into(),
+            arrival,
+            requests: 1000,
+            slo_ns: 5_000.0,
+            seed: 0,
+        }
+    }
+
+    /// An open-loop Poisson tenant at `rate_per_sec` offered load.
+    /// Defaults: 1000 requests, 5 µs SLO, seed 0 — override with the
+    /// chainable setters.
+    pub fn poisson(name: impl Into<String>, rate_per_sec: f64) -> Self {
+        Self::with_arrival(name, Arrival::Poisson { rate_per_sec })
+    }
+
+    /// A tenant replaying a recorded trace of inter-arrival gaps (ns),
+    /// cycled over its request budget. Same defaults as
+    /// [`TenantSpec::poisson`].
+    pub fn trace(name: impl Into<String>, gaps_ns: Vec<f64>) -> Self {
+        Self::with_arrival(name, Arrival::Trace { gaps_ns })
+    }
+
+    /// Sets the number of requests this tenant issues (default 1000).
+    #[must_use]
+    pub fn requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the latency SLO in ns (default 5000, the fig11c serving SLO).
+    #[must_use]
+    pub fn slo_ns(mut self, slo_ns: f64) -> Self {
+        self.slo_ns = slo_ns;
+        self
+    }
+
+    /// Sets the seed for the tenant's arrival and key streams (default 0;
+    /// give each tenant a distinct seed for independent streams).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// Runtime parameters shared by all tenants.
+///
+/// Construct with [`ServeConfig::with_defaults`] plus the chainable
+/// setters; the fields stay public for back-compat.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// The offload mechanism (launch/return overheads + concurrency cap).
@@ -99,18 +158,53 @@ pub struct ServeConfig {
     pub warmup_frac: f64,
     /// Fraction of requests at the tail excluded as drain.
     pub drain_frac: f64,
+    /// Record a structured trace of the run (see [`m2ndp_sim::trace`]):
+    /// per-device sinks capture kernel/wave/L2/DRAM/switch events and the
+    /// report carries them plus per-request phase spans. Off by default —
+    /// tracing only observes, so results are identical either way.
+    pub trace: bool,
 }
 
 impl ServeConfig {
     /// Default-parameter config for a mechanism: 48 device slots, 10%
-    /// warm-up, 5% drain.
+    /// warm-up, 5% drain, tracing off.
     pub fn with_defaults(mechanism: OffloadMechanism) -> Self {
         Self {
             model: OffloadModel::with_defaults(mechanism),
             device_slots: 48,
             warmup_frac: crate::offload::WARMUP_FRAC,
             drain_frac: 0.05,
+            trace: false,
         }
+    }
+
+    /// Sets the device kernel-slot cap (default 48, Table IV).
+    #[must_use]
+    pub fn device_slots(mut self, device_slots: u32) -> Self {
+        self.device_slots = device_slots;
+        self
+    }
+
+    /// Sets the warm-up fraction excluded from measurement (default 0.1).
+    #[must_use]
+    pub fn warmup_frac(mut self, warmup_frac: f64) -> Self {
+        self.warmup_frac = warmup_frac;
+        self
+    }
+
+    /// Sets the drain-tail fraction excluded from measurement
+    /// (default 0.05).
+    #[must_use]
+    pub fn drain_frac(mut self, drain_frac: f64) -> Self {
+        self.drain_frac = drain_frac;
+        self
+    }
+
+    /// Turns structured tracing on or off (default off).
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -189,11 +283,36 @@ impl ServeBackend {
         }
     }
 
+    /// Mutable access to device `i`.
+    pub fn device_mut(&mut self, i: usize) -> &mut CxlM2ndpDevice {
+        match self {
+            ServeBackend::Device(d) => d,
+            ServeBackend::Fleet(f) => f.device_mut(i),
+        }
+    }
+
     /// The fleet, when this backend is one (switch counters for tests).
     pub fn fleet(&self) -> Option<&Fleet> {
         match self {
             ServeBackend::Device(_) => None,
             ServeBackend::Fleet(f) => Some(f),
+        }
+    }
+
+    /// Attaches one buffering trace sink per device.
+    fn attach_tracers(&mut self) {
+        match self {
+            ServeBackend::Device(d) => d.set_tracer(0, Box::new(JsonSink::new())),
+            ServeBackend::Fleet(f) => f.set_tracers(|_| Box::new(JsonSink::new())),
+        }
+    }
+
+    /// Detaches every sink, returning all device events merged in device
+    /// index order (deterministic at any shard parallelism).
+    fn collect_traces(&mut self) -> Vec<TraceEvent> {
+        match self {
+            ServeBackend::Device(d) => d.take_trace(),
+            ServeBackend::Fleet(f) => f.take_traces(),
         }
     }
 }
@@ -224,6 +343,22 @@ impl ReqRecord {
     pub fn latency_ns(&self) -> f64 {
         self.observed_ns - self.arrival_ns
     }
+
+    /// The request's latency decomposed into the four
+    /// [`ReqPhase`] durations, in [`ReqPhase::ALL`] order: queue
+    /// (arrival → admission), launch (admission → kernel start, including
+    /// switch skew and the mechanism's pre phase), execute (simulated
+    /// kernel service), link (kernel completion → host observation, the
+    /// mechanism's return path). The link phase is computed as the residual
+    /// so the four durations sum to [`Self::latency_ns`] up to one float
+    /// rounding step.
+    pub fn phase_ns(&self) -> [f64; 4] {
+        let queue = self.admitted_ns - self.arrival_ns;
+        let launch = self.start_ns - self.admitted_ns;
+        let execute = self.service_ns;
+        let link = self.latency_ns() - (queue + launch + execute);
+        [queue, launch, execute, link]
+    }
 }
 
 /// Per-tenant outcome over the measured window.
@@ -239,6 +374,29 @@ pub struct TenantReport {
     pub latencies: FHistogram,
     /// Measured completions above the tenant's SLO.
     pub slo_violations: u64,
+}
+
+impl TenantReport {
+    /// The tenant's outcome in the workspace-wide metrics shape (same
+    /// `Vec<(String, StatValue)>` as `DeviceStats::metrics`).
+    pub fn metrics(&mut self) -> Vec<(String, StatValue)> {
+        vec![
+            ("completed".to_string(), StatValue::U64(self.completed)),
+            ("measured".to_string(), StatValue::U64(self.measured)),
+            (
+                "p50_ns".to_string(),
+                StatValue::F64(self.latencies.percentile(0.50)),
+            ),
+            (
+                "p95_ns".to_string(),
+                StatValue::F64(self.latencies.percentile(0.95)),
+            ),
+            (
+                "slo_violations".to_string(),
+                StatValue::U64(self.slo_violations),
+            ),
+        ]
+    }
 }
 
 /// Outcome of one serving run.
@@ -265,12 +423,71 @@ pub struct ServeReport {
     pub launches: u64,
     /// Every request's timing record, in global arrival order.
     pub records: Vec<ReqRecord>,
+    /// Structured trace of the run when [`ServeConfig::trace`] was on
+    /// (empty otherwise): device-internal events in device index order,
+    /// followed by per-request phase spans in global arrival order.
+    pub trace: Vec<TraceEvent>,
+    /// Canonical disassembly of the registered kernels
+    /// (`(id, name, text)`), exported with traces for instruction-level
+    /// annotation of kernel spans. Empty when tracing was off.
+    pub trace_kernels: Vec<(u32, String, String)>,
 }
 
 impl ServeReport {
     /// Measured-window P95 across all tenants (ns).
     pub fn p95_ns(&mut self) -> f64 {
         self.combined.percentile(0.95)
+    }
+
+    /// The run's headline numbers in the workspace-wide metrics shape
+    /// (same `Vec<(String, StatValue)>` as `DeviceStats::metrics`): the
+    /// figure emitters and the `m2ndp-trace` CLI both read this instead of
+    /// picking struct fields ad hoc.
+    pub fn metrics(&mut self) -> Vec<(String, StatValue)> {
+        let slo: u64 = self.tenants.iter().map(|t| t.slo_violations).sum();
+        let max_out = self.max_outstanding.iter().copied().max().unwrap_or(0);
+        vec![
+            (
+                "throughput_rps".to_string(),
+                StatValue::F64(self.throughput),
+            ),
+            (
+                "offered_rps".to_string(),
+                StatValue::F64(self.offered_per_sec),
+            ),
+            (
+                "p50_ns".to_string(),
+                StatValue::F64(self.combined.percentile(0.50)),
+            ),
+            ("p95_ns".to_string(), StatValue::F64(self.p95_ns())),
+            ("slo_violations".to_string(), StatValue::U64(slo)),
+            (
+                "max_outstanding".to_string(),
+                StatValue::U64(u64::from(max_out)),
+            ),
+            ("launches".to_string(), StatValue::U64(self.launches)),
+        ]
+    }
+
+    /// Chrome trace-event export of a traced run (loads in Perfetto and
+    /// `chrome://tracing`). The kernel disassembly rides along under
+    /// `otherData.kernels` so viewers and the `m2ndp-trace` CLI can
+    /// annotate kernel spans at instruction level. Deterministic: the same
+    /// run produces byte-identical JSON at any shard parallelism.
+    pub fn chrome_trace(&self) -> Json {
+        let kernels = Json::Arr(
+            self.trace_kernels
+                .iter()
+                .map(|(id, name, disasm)| {
+                    Json::Obj(vec![
+                        ("id".to_string(), Json::U64(u64::from(*id))),
+                        ("name".to_string(), Json::Str(name.clone())),
+                        ("disassembly".to_string(), Json::Str(disasm.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        m2ndp_sim::trace::chrome_trace_json(&self.trace, vec![("kernels".to_string(), kernels)])
     }
 }
 
@@ -302,6 +519,9 @@ pub fn run<W: ServeWorkload + Sync>(
     let ndev = backend.devices();
     let clock = backend.clock();
     let slots = cfg.model.max_concurrent().min(cfg.device_slots).max(1);
+    if cfg.trace {
+        backend.attach_tracers();
+    }
 
     // ---- generate every tenant's arrival + key stream ----
     let mut requests: Vec<Request> = Vec::new();
@@ -397,6 +617,37 @@ pub fn run<W: ServeWorkload + Sync>(
         .map(|r| r.expect("every request completes"))
         .collect();
 
+    // ---- trace collection (opt-in; `cfg.trace == false` touches nothing
+    // above, so untraced runs stay byte-identical) ----
+    let (trace, trace_kernels) = if cfg.trace {
+        let mut events = backend.collect_traces();
+        for r in &records {
+            let phases = r.phase_ns();
+            let starts = [
+                r.arrival_ns,
+                r.admitted_ns,
+                r.start_ns,
+                r.start_ns + r.service_ns,
+            ];
+            for (i, phase) in ReqPhase::ALL.into_iter().enumerate() {
+                events.push(TraceEvent {
+                    ts_ns: starts[i],
+                    device: r.device as u32,
+                    lane: Lane::Tenant(r.tenant),
+                    kind: EventKind::ReqPhase {
+                        tenant: r.tenant,
+                        seq: r.seq,
+                        phase,
+                        dur_ns: phases[i],
+                    },
+                });
+            }
+        }
+        (events, backend.device(0).kernel_disassembly())
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
     // ---- measurement windows (same definition as OffloadSim's, via the
     // shared helper, plus the drain-tail exclusion) ----
     let arrivals_ns: Vec<f64> = records.iter().map(|r| r.arrival_ns).collect();
@@ -451,6 +702,8 @@ pub fn run<W: ServeWorkload + Sync>(
         max_outstanding,
         launches,
         records,
+        trace,
+        trace_kernels,
     }
 }
 

@@ -1,9 +1,11 @@
 //! A minimal, dependency-free JSON value with a deterministic writer and a
 //! strict parser.
 //!
-//! The sweep harness ([`crate::sweep`]) emits machine-readable figure
-//! results; the environment is offline (no serde), so this module hand-rolls
-//! the small subset of JSON the harness needs with two hard guarantees:
+//! The figure sweep harness emits machine-readable results, the trace layer
+//! ([`crate::trace`]) exports Chrome trace-event timelines, and the
+//! `m2ndp-asm` / `m2ndp-trace` CLIs emit machine-readable diagnostics; the
+//! environment is offline (no serde), so this module hand-rolls the small
+//! subset of JSON they all need with two hard guarantees:
 //!
 //! * **Determinism** — objects keep insertion order and floats use Rust's
 //!   shortest round-trip formatting, so the same results always serialize to
@@ -349,13 +351,19 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 char (input is a &str, so slicing on
-                    // char boundaries is safe via chars()).
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = text.chars().next().expect("non-empty");
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the run up to the next quote or escape —
+                    // validating per character would make string parsing
+                    // quadratic in the document size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    s.push_str(text);
                 }
             }
         }
@@ -404,6 +412,98 @@ impl<'a> Parser<'a> {
                 .map(Json::F64)
                 .map_err(|_| self.err("invalid number"))
         }
+    }
+}
+
+/// One tool diagnostic in the machine-readable shape shared by the
+/// `m2ndp-asm --format json` and `m2ndp-trace` CLIs: severity, an optional
+/// `path` / `line` source anchor, and the human message. Editor tooling can
+/// rebuild the conventional `path:line: message` form from the fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// `"error"`, `"warning"`, or `"note"`.
+    pub severity: &'static str,
+    /// Source file the diagnostic anchors to, when there is one.
+    pub path: Option<String>,
+    /// 1-based source line, when known.
+    pub line: Option<u64>,
+    /// The message, without the `path:line:` prefix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error anchored at `path:line`.
+    pub fn error_at(path: impl Into<String>, line: u64, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: "error",
+            path: Some(path.into()),
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// A file-level error with no line anchor.
+    pub fn error_in(path: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: "error",
+            path: Some(path.into()),
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// The conventional compiler-style rendering for stderr:
+    /// `path:line: message` with absent anchors elided.
+    pub fn human(&self) -> String {
+        match (&self.path, self.line) {
+            (Some(p), Some(l)) => format!("{p}:{l}: {}", self.message),
+            (Some(p), None) => format!("{p}: {}", self.message),
+            _ => self.message.clone(),
+        }
+    }
+
+    /// The JSON object for this diagnostic (`null` for absent anchors, so
+    /// the shape is fixed regardless of what is known).
+    pub fn json(&self) -> Json {
+        Json::Obj(vec![
+            ("severity".to_string(), Json::Str(self.severity.to_string())),
+            (
+                "path".to_string(),
+                self.path
+                    .as_ref()
+                    .map_or(Json::Null, |p| Json::Str(p.clone())),
+            ),
+            ("line".to_string(), self.line.map_or(Json::Null, Json::U64)),
+            ("message".to_string(), Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// Wraps tool diagnostics in the shared top-level report object:
+/// `{"ok": bool, "diagnostics": [...]}` (ok = no error-severity entries).
+pub fn diagnostics_json(diags: &[Diagnostic]) -> Json {
+    Json::Obj(vec![
+        (
+            "ok".to_string(),
+            Json::Bool(diags.iter().all(|d| d.severity != "error")),
+        ),
+        (
+            "diagnostics".to_string(),
+            Json::Arr(diags.iter().map(Diagnostic::json).collect()),
+        ),
+    ])
+}
+
+/// The [`diagnostics_json`] envelope with tool-specific payload keys
+/// appended after `ok`/`diagnostics` — the one machine-readable report
+/// shape the `m2ndp-asm` and `m2ndp-trace` CLIs share.
+pub fn report_json(diags: &[Diagnostic], payload: Vec<(String, Json)>) -> Json {
+    match diagnostics_json(diags) {
+        Json::Obj(mut pairs) => {
+            pairs.extend(payload);
+            Json::Obj(pairs)
+        }
+        other => other,
     }
 }
 

@@ -18,7 +18,11 @@
 //!   simulations (e.g. the KVStore tail-latency and serving experiments),
 //! * [`par`] — deterministic, ordered, scoped fan-out
 //!   ([`par::map_ordered`]) shared by the figure sweep, the fleet, and the
-//!   serving runtime.
+//!   serving runtime,
+//! * [`json`] — the dependency-free, deterministic JSON value shared by the
+//!   figure sweep, the trace exporter, and the CLI diagnostics,
+//! * [`trace`] — the opt-in observability layer: typed timeline events, the
+//!   [`trace::TraceSink`] trait, and Chrome trace-event export.
 //!
 //! Everything here is deterministic: no wall-clock time, no global state, and
 //! all randomness flows from caller-provided seeds, so simulations are
@@ -43,12 +47,14 @@
 
 pub mod bandwidth;
 pub mod event;
+pub mod json;
 pub mod par;
 pub mod pipe;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use bandwidth::BandwidthGate;
 pub use event::{EventQueue, FEventQueue};

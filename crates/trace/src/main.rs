@@ -1,0 +1,6 @@
+//! `m2ndp-trace`: summarize, rank, and export M²NDP observability traces.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(m2ndp_trace::main_impl(args));
+}

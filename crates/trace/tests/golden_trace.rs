@@ -1,0 +1,70 @@
+//! Golden-file snapshot of the tiny traced serving demo's Chrome
+//! trace-event (Perfetto) export.
+//!
+//! The demo run is fully deterministic, so its export is pinned
+//! byte-for-byte under `tests/golden/demo.trace.json`. A diff means the
+//! observability layer changed what it records, when it stamps events, or
+//! how the exporter serializes them — all of which deserve review.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p m2ndp_trace --test golden_trace
+//! ```
+//!
+//! then review the diff like any other source change.
+
+use std::path::PathBuf;
+
+use m2ndp_trace::{demo_trace, parse_trace, request_summaries};
+
+const DEVICES: usize = 1;
+const RATE: f64 = 2e5;
+const REQUESTS: usize = 12;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/demo.trace.json")
+}
+
+fn render() -> String {
+    demo_trace(DEVICES, RATE, REQUESTS).pretty() + "\n"
+}
+
+#[test]
+fn demo_trace_matches_golden_snapshot() {
+    let text = render();
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run UPDATE_GOLDEN=1 \
+             cargo test -p m2ndp_trace --test golden_trace",
+            path.display()
+        )
+    });
+    assert!(
+        golden == text,
+        "traced-serve export drifted from {}; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p m2ndp_trace --test golden_trace",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_snapshot_validates_and_summarizes() {
+    // The committed snapshot itself must stay a valid trace whose serve
+    // phases partition each request's latency — guarding against a stale
+    // or hand-edited golden file.
+    let text = std::fs::read_to_string(golden_path()).unwrap_or_else(|_| render());
+    let doc = parse_trace("demo.trace.json", &text).expect("golden trace validates");
+    let reqs = request_summaries("demo.trace.json", &doc).expect("phases complete");
+    assert!(!reqs.is_empty());
+    for r in &reqs {
+        let sum: f64 = r.phases.iter().sum();
+        assert!((sum - r.total_ns()).abs() <= f64::EPSILON * sum.max(1.0));
+    }
+}

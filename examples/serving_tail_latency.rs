@@ -14,29 +14,21 @@ use m2ndp::core::fleet::{Fleet, FleetConfig};
 use m2ndp::core::M2ndpConfig;
 use m2ndp::cxl::SwitchConfig;
 use m2ndp::host::offload::OffloadMechanism;
-use m2ndp::host::serve::{self, Arrival, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
+use m2ndp::host::serve::{self, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
 
 fn tenants(rate_per_sec: f64) -> Vec<TenantSpec> {
     let burst_gap = 1e9 / (rate_per_sec * 0.3);
+    // slo_ns stays at the documented 5 µs default.
     vec![
-        TenantSpec {
-            name: "interactive".into(),
-            arrival: Arrival::Poisson {
-                rate_per_sec: rate_per_sec * 0.7,
-            },
-            requests: 1200,
-            slo_ns: 5_000.0,
-            seed: 0xA11CE,
-        },
-        TenantSpec {
-            name: "batch-replay".into(),
-            arrival: Arrival::Trace {
-                gaps_ns: vec![0.4 * burst_gap, 0.8 * burst_gap, 1.8 * burst_gap],
-            },
-            requests: 600,
-            slo_ns: 5_000.0,
-            seed: 0xB0B,
-        },
+        TenantSpec::poisson("interactive", rate_per_sec * 0.7)
+            .requests(1200)
+            .seed(0xA11CE),
+        TenantSpec::trace(
+            "batch-replay",
+            vec![0.4 * burst_gap, 0.8 * burst_gap, 1.8 * burst_gap],
+        )
+        .requests(600)
+        .seed(0xB0B),
     ]
 }
 

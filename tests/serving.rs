@@ -12,7 +12,9 @@ use m2ndp::core::fleet::{Fleet, FleetConfig};
 use m2ndp::core::{M2Func, M2ndpConfig};
 use m2ndp::cxl::SwitchConfig;
 use m2ndp::host::offload::OffloadMechanism;
-use m2ndp::host::serve::{self, Arrival, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
+use m2ndp::host::serve::{self, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
+use m2ndp::sim::json::Json;
+use proptest::prelude::*;
 
 fn device_cfg() -> M2ndpConfig {
     let mut cfg = M2ndpConfig::default_device();
@@ -30,25 +32,14 @@ fn fleet_backend(devices: usize) -> ServeBackend {
 }
 
 fn tenants(requests: usize, rate: f64) -> Vec<TenantSpec> {
+    // Builder form: slo_ns stays at its documented 5 µs default.
     vec![
-        TenantSpec {
-            name: "interactive".into(),
-            arrival: Arrival::Poisson {
-                rate_per_sec: rate * 0.7,
-            },
-            requests,
-            slo_ns: 5_000.0,
-            seed: 0xA11CE,
-        },
-        TenantSpec {
-            name: "batch".into(),
-            arrival: Arrival::Trace {
-                gaps_ns: vec![0.5e9 / (rate * 0.3), 1.5e9 / (rate * 0.3)],
-            },
-            requests: requests / 2,
-            slo_ns: 5_000.0,
-            seed: 0xB0B,
-        },
+        TenantSpec::poisson("interactive", rate * 0.7)
+            .requests(requests)
+            .seed(0xA11CE),
+        TenantSpec::trace("batch", vec![0.5e9 / (rate * 0.3), 1.5e9 / (rate * 0.3)])
+            .requests(requests / 2)
+            .seed(0xB0B),
     ]
 }
 
@@ -122,6 +113,73 @@ fn mechanism_tail_ordering_matches_the_paper_at_light_load() {
         dr < rb,
         "direct MMIO P95 {dr} must beat the ring buffer {rb}"
     );
+}
+
+#[test]
+fn tracing_is_opt_in_and_does_not_perturb_the_simulation() {
+    let run_with = |trace: bool| {
+        let mut backend = fleet_backend(2);
+        let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.99);
+        let cfg = ServeConfig::with_defaults(OffloadMechanism::M2Func).trace(trace);
+        serve::run(&mut backend, &mut wl, &cfg, &tenants(60, 1e6))
+    };
+    let untraced = run_with(false);
+    let traced = run_with(true);
+
+    // Off = nothing buffered; on = a real timeline plus kernel annotation.
+    assert!(untraced.trace.is_empty());
+    assert!(untraced.trace_kernels.is_empty());
+    assert!(!traced.trace.is_empty());
+    assert!(!traced.trace_kernels.is_empty());
+
+    // The observability layer must not change a single timing: every
+    // request's record is bit-identical with and without tracing.
+    assert_eq!(untraced.records.len(), traced.records.len());
+    for (u, t) in untraced.records.iter().zip(&traced.records) {
+        assert_eq!(u.arrival_ns.to_bits(), t.arrival_ns.to_bits());
+        assert_eq!(u.observed_ns.to_bits(), t.observed_ns.to_bits());
+        assert_eq!(u.device, t.device);
+    }
+
+    // The export is valid Chrome trace-event JSON.
+    let json = traced.chrome_trace();
+    let parsed = Json::parse(&json.pretty()).expect("export parses");
+    let Some(Json::Arr(events)) = parsed.get("traceEvents") else {
+        panic!("missing traceEvents");
+    };
+    assert!(!events.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// The four request phases (queue/launch/execute/link) partition each
+    /// request's end-to-end latency exactly, across rates and seeds.
+    #[test]
+    fn phase_durations_sum_to_end_to_end_latency(
+        seed in 0u64..1u64 << 32,
+        rate in 1e5_f64..2e7_f64,
+    ) {
+        let mut backend = fleet_backend(1);
+        let mut wl = KvServeWorkload::build(&mut backend, 1 << 10, 0.99);
+        let cfg = ServeConfig::with_defaults(OffloadMechanism::M2Func);
+        let specs = vec![
+            TenantSpec::poisson("p", rate).requests(40).seed(seed),
+        ];
+        let report = serve::run(&mut backend, &mut wl, &cfg, &specs);
+        for r in &report.records {
+            let phases = r.phase_ns();
+            let sum: f64 = phases.iter().sum();
+            let latency = r.observed_ns - r.arrival_ns;
+            let tol = f64::EPSILON * latency.abs().max(1.0) * 4.0;
+            prop_assert!(
+                (sum - latency).abs() <= tol,
+                "phases {phases:?} sum to {sum}, latency {latency}"
+            );
+            for p in phases {
+                prop_assert!(p >= 0.0, "negative phase in {phases:?}");
+            }
+        }
+    }
 }
 
 #[test]
