@@ -1,0 +1,12 @@
+//! Fig. 15 (elastic serving): the SLO-targeting autoscaler versus static
+//! 2- and 8-device fleets at the same offered load — the autoscaler must
+//! meet the P95 SLO that the small static fleet blows, while spending a
+//! fraction of the big static fleet's device-time. The cells live in
+//! `m2ndp_bench::sweep`, shared with the `figures` CLI.
+
+use m2ndp_bench::sweep::{print_figure, run_figure, FigId};
+
+fn main() {
+    let (outs, metrics) = run_figure(FigId::Fig15, false, 1, false);
+    print_figure(FigId::Fig15, &outs, &metrics);
+}

@@ -36,6 +36,14 @@
 //!                          nonzero exit otherwise. Cells are mode-stable,
 //!                          so a --fast run can be checked against a
 //!                          full-sweep snapshot.
+//!   --scheduler NAME       run the fig11c serving cells under a different
+//!                          scheduler (static-fifo | shortest-queue |
+//!                          hdm-locality | priority-slo; default
+//!                          static-fifo). static-fifo and hdm-locality are
+//!                          snapshot-identical; the dynamic kinds serve a
+//!                          replicated store on the serial global loop and
+//!                          are gated on determinism (cmp across job
+//!                          budgets), not on the snapshot
 //!   --list                 list figures and bands, run nothing
 //!   --quiet                no tables / per-cell progress, just files + gate
 //! ```
@@ -46,6 +54,7 @@
 
 use std::process::ExitCode;
 
+use m2ndp::host::serve::SchedulerKind;
 use m2ndp::sim::par;
 use m2ndp_bench::golden::{self, Verdict};
 use m2ndp_bench::json::Json;
@@ -61,6 +70,7 @@ struct Options {
     timing: Option<String>,
     trace: Option<String>,
     snapshot: Option<String>,
+    scheduler: Option<SchedulerKind>,
     list: bool,
     quiet: bool,
 }
@@ -68,9 +78,10 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: figures [--only fig10a,fig10c,...] [--fast] [--jobs N] [--fleet-jobs N] \
-         [--check] [--out DIR] [--timing FILE] [--trace DIR] [--snapshot FILE] [--list] \
-         [--quiet]\nfigures: {}",
-        FigId::all().map(FigId::id).join(", ")
+         [--check] [--out DIR] [--timing FILE] [--trace DIR] [--snapshot FILE] \
+         [--scheduler NAME] [--list] [--quiet]\nfigures: {}\nschedulers: {}",
+        FigId::all().map(FigId::id).join(", "),
+        SchedulerKind::all().map(SchedulerKind::name).join(", ")
     );
     std::process::exit(2);
 }
@@ -88,6 +99,7 @@ fn parse_args() -> Options {
         timing: None,
         trace: None,
         snapshot: None,
+        scheduler: None,
         list: false,
         quiet: false,
     };
@@ -137,6 +149,14 @@ fn parse_args() -> Options {
             "--timing" => opts.timing = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--snapshot" => opts.snapshot = Some(args.next().unwrap_or_else(|| usage())),
+            "--scheduler" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                let kind = SchedulerKind::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown scheduler `{name}`");
+                    usage()
+                });
+                opts.scheduler = Some(kind);
+            }
             "--list" => opts.list = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
@@ -308,7 +328,10 @@ fn main() -> ExitCode {
     let mut all_cells = Vec::new();
     let mut spans = Vec::new();
     for &fig in &opts.only {
-        let specs = sweep::cells(fig, opts.fast);
+        let mut specs = sweep::cells(fig, opts.fast);
+        if let Some(kind) = opts.scheduler {
+            specs = specs.into_iter().map(|c| c.with_scheduler(kind)).collect();
+        }
         spans.push((fig, all_cells.len()..all_cells.len() + specs.len()));
         all_cells.extend(specs);
     }

@@ -34,6 +34,7 @@ use m2ndp::host::cpu::{DataHome, HostCpu, HostCpuConfig};
 use m2ndp::host::nsu::NsuModel;
 use m2ndp::host::offload::{OffloadMechanism, OffloadModel, OffloadSim};
 use m2ndp::host::serve;
+use m2ndp::sim::trace::ScaleDir;
 use m2ndp::sim::{par, Frequency, Snapshot as _};
 use m2ndp::workloads::{dlrm, olap, opt};
 use m2ndp::SystemBuilder;
@@ -79,11 +80,15 @@ pub enum FigId {
     /// Fig. 14b — M²NDP-in-switch over passive CXL memories (§III-J) vs
     /// per-device NDP.
     Fig14b,
+    /// Fig. 15 — elastic serving: SLO-targeted fleet autoscaling
+    /// ([`m2ndp::host::serve::AutoscaleConfig`]) against static fleets on
+    /// the same bursty tenants, comparing tail latency and device-time.
+    Fig15,
 }
 
 impl FigId {
     /// All sweep figures in presentation order.
-    pub fn all() -> [FigId; 10] {
+    pub fn all() -> [FigId; 11] {
         [
             FigId::Fig10a,
             FigId::Fig10b,
@@ -95,6 +100,7 @@ impl FigId {
             FigId::Fig13b,
             FigId::Fig14a,
             FigId::Fig14b,
+            FigId::Fig15,
         ]
     }
 
@@ -111,6 +117,7 @@ impl FigId {
             FigId::Fig13b => "fig13b",
             FigId::Fig14a => "fig14a",
             FigId::Fig14b => "fig14b",
+            FigId::Fig15 => "fig15",
         }
     }
 
@@ -129,6 +136,9 @@ impl FigId {
             FigId::Fig13b => "Dirty-host-cache limit (paper: 0.969 / 0.872 / 0.735)",
             FigId::Fig14a => "Simulated fleet scaling, 1-8 devices (paper: Fig. 12b trends)",
             FigId::Fig14b => "NDP-in-switch vs per-device NDP (paper: 6.39-7.38x at 8 memories)",
+            FigId::Fig15 => {
+                "Elastic serving: SLO autoscaling vs static fleets (must meet P95 SLO cheaper)"
+            }
         }
     }
 
@@ -192,15 +202,30 @@ enum Work {
     SwitchNdpRun { memories: u32 },
     /// Multi-tenant serving over a simulated fleet: open-loop tenants,
     /// every request an actual kernel launch routed through the switch
-    /// (Fig. 11c).
+    /// (Fig. 11c). `scheduler` defaults to [`serve::SchedulerKind::StaticFifo`]
+    /// (the snapshot-pinned behavior); [`CellSpec::with_scheduler`] swaps it
+    /// for the CI scheduler matrix.
     Serve {
         mechanism: OffloadMechanism,
         devices: u32,
         rate_per_sec: f64,
+        scheduler: serve::SchedulerKind,
     },
     /// The same tenants served by one standalone device (no switch in the
     /// launch path) — the parity reference for the 1-device fleet.
-    ServeSingleRef { rate_per_sec: f64 },
+    ServeSingleRef {
+        rate_per_sec: f64,
+        scheduler: serve::SchedulerKind,
+    },
+    /// Elastic serving (Fig. 15): bursty tenants over a replicated store on
+    /// an 8-slot fleet, either autoscaled between `(min, max)` active
+    /// devices against the P95 SLO or pinned to a static `devices` fleet —
+    /// the device-time comparison the autoscaler must win.
+    ServeElastic {
+        devices: u32,
+        rate_per_sec: f64,
+        autoscale: Option<(usize, usize)>,
+    },
 }
 
 /// The bench-scale device every fleet cell instantiates per shard (the
@@ -270,29 +295,71 @@ fn serve_device_cfg() -> M2ndpConfig {
 fn serve_tenants(rate_per_sec: f64) -> Vec<serve::TenantSpec> {
     let trace_mean_gap = 1e9 / (rate_per_sec * 0.3);
     vec![
-        serve::TenantSpec {
-            name: "tenantA".into(),
-            arrival: serve::Arrival::Poisson {
-                rate_per_sec: rate_per_sec * 0.7,
-            },
-            requests: 1000,
-            slo_ns: SERVE_SLO_NS,
-            seed: 0x5EA1,
-        },
-        serve::TenantSpec {
-            name: "tenantB".into(),
-            arrival: serve::Arrival::Trace {
-                gaps_ns: vec![
-                    0.6 * trace_mean_gap,
-                    1.0 * trace_mean_gap,
-                    1.4 * trace_mean_gap,
-                ],
-            },
-            requests: 500,
-            slo_ns: SERVE_SLO_NS,
-            seed: 0x5EB2,
-        },
+        serve::TenantSpec::poisson("tenantA", rate_per_sec * 0.7)
+            .requests(1000)
+            .slo_ns(SERVE_SLO_NS)
+            .seed(0x5EA1),
+        serve::TenantSpec::trace(
+            "tenantB",
+            vec![
+                0.6 * trace_mean_gap,
+                1.0 * trace_mean_gap,
+                1.4 * trace_mean_gap,
+            ],
+        )
+        .requests(500)
+        .slo_ns(SERVE_SLO_NS)
+        .seed(0x5EB2),
     ]
+}
+
+/// Offered load of the fig15 elastic-serving cells (total req/s). Chosen so
+/// the [`ELASTIC_MIN_DEVICES`]-device fleet is overloaded (its P95 blows
+/// through the SLO) while the [`ELASTIC_MAX_DEVICES`]-device fleet is
+/// comfortable — the regime where autoscaling has a decision to make.
+const ELASTIC_RATE: f64 = 5e6;
+
+/// Static-fleet comparison points and the autoscaler's `(min, max)` range.
+const ELASTIC_MIN_DEVICES: usize = 2;
+const ELASTIC_MAX_DEVICES: usize = 8;
+
+/// One kernel slot per device in the fig15 cells: the elastic experiment
+/// needs queueing (a 48-slot device absorbs any of these rates without a
+/// visible queue), so each device serves strictly one request at a time and
+/// capacity scales with *active devices* only — exactly the knob the
+/// autoscaler controls.
+const ELASTIC_DEVICE_SLOTS: u32 = 1;
+
+/// The two fig15 tenants: a steady Poisson tenant that runs the whole cell
+/// plus a bursty tenant ([`serve::Arrival::Burst`], 4x rate concentration
+/// over 50 us periods) that exhausts its request budget halfway through —
+/// a two-phase load shape (full load, then steady-only) that rewards
+/// scaling up early and draining devices once the bursts stop.
+fn elastic_tenants(rate_per_sec: f64) -> Vec<serve::TenantSpec> {
+    vec![
+        serve::TenantSpec::poisson("steady", rate_per_sec * 0.6)
+            .requests(4800)
+            .slo_ns(SERVE_SLO_NS)
+            .seed(0x5EC1),
+        serve::TenantSpec::burst("bursty", rate_per_sec * 0.4, 4.0, 50_000.0)
+            .requests(800)
+            .slo_ns(SERVE_SLO_NS)
+            .seed(0x5EC2),
+    ]
+}
+
+/// The fig15 autoscaling policy: steer toward the serving SLO. The window
+/// spans roughly one burst period so burst-gap lulls don't read as idle
+/// capacity, and the drain threshold sits just above the fleet's light-load
+/// P95 (~0.7 us) so devices are released only when the load has genuinely
+/// fallen, not between bursts — the hysteresis that keeps the controller
+/// from thrashing.
+fn elastic_autoscale_cfg(min: usize, max: usize) -> serve::AutoscaleConfig {
+    serve::AutoscaleConfig::new(min, max, SERVE_SLO_NS)
+        .interval_ns(20_000.0)
+        .window(128)
+        .scale_down_frac(0.2)
+        .cooldown_ticks(1)
 }
 
 /// Raw output of one cell.
@@ -326,6 +393,23 @@ impl CellSpec {
             key: key.to_string(),
             work: Work::KvsBaseline { requests },
         }
+    }
+
+    /// Replaces the scheduler on serving cells (`figures --scheduler`, the
+    /// CI scheduler matrix). Non-serving cells and the fig15 elastic cells
+    /// (whose scheduler is part of the experiment) are returned unchanged.
+    /// The cell key is untouched: with the default
+    /// [`serve::SchedulerKind::StaticFifo`] the emitted JSON is pinned by
+    /// the snapshot gate; dynamic kinds are gated on determinism instead.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: serve::SchedulerKind) -> CellSpec {
+        match &mut self.work {
+            Work::Serve { scheduler: s, .. } | Work::ServeSingleRef { scheduler: s, .. } => {
+                *s = scheduler;
+            }
+            _ => {}
+        }
+        self
     }
 }
 
@@ -418,6 +502,7 @@ pub fn cells(fig: FigId, fast: bool) -> Vec<CellSpec> {
                 key: format!("single/{}", rate_key(SERVE_RATES[0])),
                 work: Work::ServeSingleRef {
                     rate_per_sec: SERVE_RATES[0],
+                    scheduler: serve::SchedulerKind::StaticFifo,
                 },
             }];
             for &n in devices {
@@ -430,12 +515,45 @@ pub fn cells(fig: FigId, fast: bool) -> Vec<CellSpec> {
                                 mechanism,
                                 devices: n,
                                 rate_per_sec: rate,
+                                scheduler: serve::SchedulerKind::StaticFifo,
                             },
                         });
                     }
                 }
             }
             out
+        }
+        FigId::Fig15 => {
+            let rk = rate_key(ELASTIC_RATE);
+            vec![
+                CellSpec {
+                    fig,
+                    key: format!("autoscale/{ELASTIC_MIN_DEVICES}-{ELASTIC_MAX_DEVICES}dev/{rk}"),
+                    work: Work::ServeElastic {
+                        devices: ELASTIC_MAX_DEVICES as u32,
+                        rate_per_sec: ELASTIC_RATE,
+                        autoscale: Some((ELASTIC_MIN_DEVICES, ELASTIC_MAX_DEVICES)),
+                    },
+                },
+                CellSpec {
+                    fig,
+                    key: format!("static{ELASTIC_MIN_DEVICES}/{rk}"),
+                    work: Work::ServeElastic {
+                        devices: ELASTIC_MIN_DEVICES as u32,
+                        rate_per_sec: ELASTIC_RATE,
+                        autoscale: None,
+                    },
+                },
+                CellSpec {
+                    fig,
+                    key: format!("static{ELASTIC_MAX_DEVICES}/{rk}"),
+                    work: Work::ServeElastic {
+                        devices: ELASTIC_MAX_DEVICES as u32,
+                        rate_per_sec: ELASTIC_RATE,
+                        autoscale: None,
+                    },
+                },
+            ]
         }
         FigId::Fig12a => sweep_workloads(fast)
             .into_iter()
@@ -937,38 +1055,67 @@ pub fn run_cell_with(spec: &CellSpec, fleet_jobs: usize) -> CellOut {
             mechanism,
             devices,
             rate_per_sec,
+            scheduler,
         } => {
-            let mut fleet = Fleet::new(FleetConfig {
-                devices: *devices as usize,
-                device: serve_device_cfg(),
-                switch: SwitchConfig::default(),
-                hdm_bytes_per_device: 1 << 30,
-            });
-            fleet.set_parallelism(fleet_jobs);
-            let backend = serve::ServeBackend::Fleet(Box::new(fleet));
-            let (ns, stats, extra) = run_serve(backend, *mechanism, *rate_per_sec);
+            let backend = serve_fleet_backend(*devices as usize, fleet_jobs);
+            let (ns, stats, extra) = run_serve(backend, *mechanism, *rate_per_sec, *scheduler);
             out(0, ns, Some(stats), extra)
         }
-        Work::ServeSingleRef { rate_per_sec } => {
+        Work::ServeSingleRef {
+            rate_per_sec,
+            scheduler,
+        } => {
             let backend =
                 serve::ServeBackend::Device(Box::new(CxlM2ndpDevice::new(serve_device_cfg())));
-            let (ns, stats, extra) = run_serve(backend, OffloadMechanism::M2Func, *rate_per_sec);
+            let (ns, stats, extra) =
+                run_serve(backend, OffloadMechanism::M2Func, *rate_per_sec, *scheduler);
+            out(0, ns, Some(stats), extra)
+        }
+        Work::ServeElastic {
+            devices,
+            rate_per_sec,
+            autoscale,
+        } => {
+            let (mut report, stats) = elastic_report(*devices, *rate_per_sec, *autoscale, false);
+            let (ns, extra) = elastic_outputs(&mut report);
             out(0, ns, Some(stats), extra)
         }
     }
 }
 
-/// Runs one serving cell: builds the sharded KV store inside the backend,
+/// Builds the fig11c/fig15 fleet backend (`devices` real device sims behind
+/// the switch) at the given shard parallelism.
+fn serve_fleet_backend(devices: usize, fleet_jobs: usize) -> serve::ServeBackend {
+    let mut fleet = Fleet::new(FleetConfig {
+        devices,
+        device: serve_device_cfg(),
+        switch: SwitchConfig::default(),
+        hdm_bytes_per_device: 1 << 30,
+    });
+    fleet.set_parallelism(fleet_jobs);
+    serve::ServeBackend::Fleet(Box::new(fleet))
+}
+
+/// Runs one serving cell: builds the KV store inside the backend (sharded
+/// for the home-routing schedulers, replicated for the dynamic ones),
 /// serves the two open-loop tenants (every request a real kernel launch),
 /// and returns (P95 ns, device stats, scalar outputs).
 fn run_serve(
     mut backend: serve::ServeBackend,
     mechanism: OffloadMechanism,
     rate_per_sec: f64,
+    scheduler: serve::SchedulerKind,
 ) -> (f64, DeviceStats, Vec<(&'static str, f64)>) {
-    let mut wl = serve::KvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
-    let cfg = serve::ServeConfig::with_defaults(mechanism);
-    let mut report = serve::run(&mut backend, &mut wl, &cfg, &serve_tenants(rate_per_sec));
+    let cfg = serve::ServeConfig::with_defaults(mechanism).scheduler(scheduler);
+    let tenants = serve_tenants(rate_per_sec);
+    let mut report = if scheduler.is_dynamic() {
+        let mut wl =
+            serve::ReplicatedKvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
+        serve::run(&mut backend, &mut wl, &cfg, &tenants)
+    } else {
+        let mut wl = serve::KvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
+        serve::run(&mut backend, &mut wl, &cfg, &tenants)
+    };
     let stats = match &backend {
         serve::ServeBackend::Device(d) => d.stats(),
         serve::ServeBackend::Fleet(f) => f.stats(),
@@ -996,36 +1143,98 @@ fn run_serve(
     (p95, stats, extra)
 }
 
+/// Runs one fig15 elastic cell: bursty tenants over the *replicated* KV
+/// store (the dynamic scheduling path requires every device to be able to
+/// serve every key) with the [`serve::SchedulerKind::ShortestQueue`]
+/// scheduler, optionally autoscaled between `(min, max)` active devices.
+fn elastic_report(
+    devices: u32,
+    rate_per_sec: f64,
+    autoscale: Option<(usize, usize)>,
+    trace: bool,
+) -> (serve::ServeReport, DeviceStats) {
+    let mut backend = serve_fleet_backend(devices as usize, 1);
+    let mut wl =
+        serve::ReplicatedKvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
+    let mut cfg = serve::ServeConfig::with_defaults(OffloadMechanism::M2Func)
+        .scheduler(serve::SchedulerKind::ShortestQueue)
+        .device_slots(ELASTIC_DEVICE_SLOTS)
+        .trace(trace);
+    if let Some((min, max)) = autoscale {
+        cfg = cfg.autoscale(elastic_autoscale_cfg(min, max));
+    }
+    let report = serve::run(&mut backend, &mut wl, &cfg, &elastic_tenants(rate_per_sec));
+    let stats = match &backend {
+        serve::ServeBackend::Device(d) => d.stats(),
+        serve::ServeBackend::Fleet(f) => f.stats(),
+    };
+    (report, stats)
+}
+
+/// Extracts one fig15 cell's headline (P95 ns) and scalar outputs,
+/// including the device-time integral and the scale-event counts the
+/// derived device-hours metrics are built from.
+fn elastic_outputs(report: &mut serve::ServeReport) -> (f64, Vec<(&'static str, f64)>) {
+    let p95 = report.combined.percentile(0.95);
+    let slo: u64 = report.tenants.iter().map(|t| t.slo_violations).sum();
+    let count = |dir: ScaleDir| report.scale_events.iter().filter(|e| e.dir == dir).count() as f64;
+    let extra = vec![
+        ("throughput_rps", report.throughput),
+        ("offered_rps", report.offered_per_sec),
+        ("p50_ns", report.combined.percentile(0.5)),
+        ("slo_violations", slo as f64),
+        ("launches", report.launches as f64),
+        ("device_time_ms", report.device_time_ns / 1e6),
+        ("scale_ups", count(ScaleDir::Up)),
+        ("drains", count(ScaleDir::DrainStart)),
+    ];
+    (p95, extra)
+}
+
 /// Re-runs one serving cell with tracing on and returns its Chrome
 /// trace-event JSON (`None` for non-serving cells). Tracing is opt-in and
 /// additive: the traced re-run buffers events on the side while the
 /// simulation itself stays deterministic, so the untraced sweep results
 /// are unaffected. Used by `figures --trace DIR`.
 pub fn traced_cell_json(cell: &CellSpec, fleet_jobs: usize) -> Option<Json> {
-    let (mechanism, devices, rate_per_sec) = match cell.work {
+    let (mechanism, devices, rate_per_sec, scheduler) = match cell.work {
         Work::Serve {
             mechanism,
             devices,
             rate_per_sec,
-        } => (mechanism, devices as usize, rate_per_sec),
-        Work::ServeSingleRef { rate_per_sec } => (OffloadMechanism::M2Func, 0, rate_per_sec),
+            scheduler,
+        } => (mechanism, devices as usize, rate_per_sec, scheduler),
+        Work::ServeSingleRef {
+            rate_per_sec,
+            scheduler,
+        } => (OffloadMechanism::M2Func, 0, rate_per_sec, scheduler),
+        Work::ServeElastic {
+            devices,
+            rate_per_sec,
+            autoscale,
+        } => {
+            let (report, _) = elastic_report(devices, rate_per_sec, autoscale, true);
+            return Some(report.chrome_trace());
+        }
         _ => return None,
     };
     let mut backend = if devices == 0 {
         serve::ServeBackend::Device(Box::new(CxlM2ndpDevice::new(serve_device_cfg())))
     } else {
-        let mut fleet = Fleet::new(FleetConfig {
-            devices,
-            device: serve_device_cfg(),
-            switch: SwitchConfig::default(),
-            hdm_bytes_per_device: 1 << 30,
-        });
-        fleet.set_parallelism(fleet_jobs);
-        serve::ServeBackend::Fleet(Box::new(fleet))
+        serve_fleet_backend(devices, fleet_jobs)
     };
-    let mut wl = serve::KvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
-    let cfg = serve::ServeConfig::with_defaults(mechanism).trace(true);
-    let report = serve::run(&mut backend, &mut wl, &cfg, &serve_tenants(rate_per_sec));
+    let cfg = serve::ServeConfig::with_defaults(mechanism)
+        .scheduler(scheduler)
+        .trace(true);
+    let tenants = serve_tenants(rate_per_sec);
+    let report = if scheduler.is_dynamic() {
+        let mut wl =
+            serve::ReplicatedKvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
+        serve::run(&mut backend, &mut wl, &cfg, &tenants)
+    } else {
+        let mut wl = serve::KvServeWorkload::build(&mut backend, serve::KV_ITEMS_PER_DEVICE, 0.99);
+        serve::run(&mut backend, &mut wl, &cfg, &tenants)
+    };
     Some(report.chrome_trace())
 }
 
@@ -1431,6 +1640,38 @@ pub fn derive(fig: FigId, outs: &[CellOut]) -> Vec<Metric> {
                     "perdev_vs_swndp/8".into(),
                     p8.cycles as f64 / s8.cycles as f64,
                 ));
+            }
+        }
+        FigId::Fig15 => {
+            let rk = rate_key(ELASTIC_RATE);
+            let auto_key = format!("autoscale/{ELASTIC_MIN_DEVICES}-{ELASTIC_MAX_DEVICES}dev/{rk}");
+            let configs = [
+                ("autoscale", auto_key.clone()),
+                ("static_min", format!("static{ELASTIC_MIN_DEVICES}/{rk}")),
+                ("static_max", format!("static{ELASTIC_MAX_DEVICES}/{rk}")),
+            ];
+            for (name, key) in &configs {
+                if let Some(o) = find(outs, key) {
+                    // < 1 means the configuration meets the P95 SLO.
+                    m.push((format!("p95_slo_ratio/{name}"), o.ns / SERVE_SLO_NS));
+                    m.push((format!("device_time_ms/{name}"), extra(o, "device_time_ms")));
+                    m.push((format!("throughput/{name}"), extra(o, "throughput_rps")));
+                }
+            }
+            if let (Some(a), Some(s)) = (
+                find(outs, &auto_key),
+                find(outs, &format!("static{ELASTIC_MAX_DEVICES}/{rk}")),
+            ) {
+                // The acceptance claim: the autoscaled fleet spends fewer
+                // device-hours than the static max-size fleet (< 1).
+                m.push((
+                    "device_time_ratio/autoscale_vs_static_max".into(),
+                    extra(a, "device_time_ms") / extra(s, "device_time_ms"),
+                ));
+            }
+            if let Some(a) = find(outs, &auto_key) {
+                m.push(("scale_ups/autoscale".into(), extra(a, "scale_ups")));
+                m.push(("drains/autoscale".into(), extra(a, "drains")));
             }
         }
     }
@@ -1909,6 +2150,52 @@ pub fn print_figure(fig: FigId, outs: &[CellOut], metrics: &[Metric]) {
                     "{v:.2}x"
                 )),
                 fmt_or_dash(metric(metrics, "perdev_vs_swndp/8"), |v| format!("{v:.2}")),
+            );
+        }
+        FigId::Fig15 => {
+            let mut t = Table::new(vec![
+                "fleet",
+                "P95 (ns)",
+                "P95 / SLO",
+                "device-time (ms)",
+                "scale events",
+            ]);
+            for o in outs {
+                let name = match o.key.split('/').next() {
+                    Some(k) if k.starts_with("autoscale") => "autoscale",
+                    Some(k) if k == format!("static{ELASTIC_MIN_DEVICES}") => "static_min",
+                    _ => "static_max",
+                };
+                let events = if name == "autoscale" {
+                    format!(
+                        "{:.0} up / {:.0} drain",
+                        extra(o, "scale_ups"),
+                        extra(o, "drains")
+                    )
+                } else {
+                    "-".into()
+                };
+                t.row(vec![
+                    o.key.clone(),
+                    format!("{:.0}", o.ns),
+                    fmt_or_dash(metric(metrics, &format!("p95_slo_ratio/{name}")), |v| {
+                        format!("{v:.2}")
+                    }),
+                    format!("{:.3}", extra(o, "device_time_ms")),
+                    events,
+                ]);
+            }
+            t.print(
+                "Fig. 15 — elastic serving: SLO-targeted autoscaling vs static fleets \
+                 (bursty tenants, shortest-queue routing, replicated store)",
+            );
+            println!(
+                "autoscale device-time / static{ELASTIC_MAX_DEVICES} device-time: {} \
+                 (must be < 1 while P95/SLO stays <= 1)",
+                fmt_or_dash(
+                    metric(metrics, "device_time_ratio/autoscale_vs_static_max"),
+                    |v| format!("{v:.3}")
+                ),
             );
         }
     }

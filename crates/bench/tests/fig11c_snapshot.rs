@@ -1,0 +1,46 @@
+//! The snapshot-pinning half of the scheduler contract: `StaticFifo` is
+//! the default serving scheduler precisely because it reproduces the
+//! committed `BENCH_RESULTS.json` byte-for-byte. Re-running a `fig11c`
+//! cell through the sweep's public API must serialize to exactly the
+//! checked-in JSON — any drift means the scheduler redesign changed
+//! observable behaviour on the pinned path.
+//!
+//! Only the cheapest cell (`single/2e5`, a standalone-device reference
+//! run) is executed so the gate stays affordable in debug CI; the full
+//! grid is held to the snapshot by the release-mode `figures --check`
+//! job.
+
+use m2ndp_bench::json::Json;
+use m2ndp_bench::sweep::{self, FigId};
+
+#[test]
+fn static_fifo_reproduces_committed_fig11c_cell() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_RESULTS.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_RESULTS.json is readable");
+    let snap = Json::parse(&text).expect("committed snapshot parses");
+
+    let key = "single/2e5";
+    let spec = sweep::cells(FigId::Fig11c, true)
+        .into_iter()
+        .find(|c| c.key == key)
+        .expect("reference cell is in the fast grid");
+    let got = sweep::cell_json(&sweep::run_cell(&spec));
+
+    let cells = snap
+        .get("figures")
+        .and_then(|f| f.get("fig11c"))
+        .and_then(|f| f.get("cells"))
+        .expect("snapshot has fig11c cells");
+    let Json::Arr(cells) = cells else {
+        panic!("fig11c cells must be an array");
+    };
+    let want = cells
+        .iter()
+        .find(|c| matches!(c.get("key"), Some(Json::Str(s)) if s == key))
+        .expect("snapshot has the reference cell");
+
+    assert_eq!(
+        &got, want,
+        "StaticFifo must reproduce the committed fig11c snapshot cell byte-for-byte"
+    );
+}

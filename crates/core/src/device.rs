@@ -162,18 +162,111 @@ pub enum StatValue {
     F64(f64),
 }
 
+/// An ordered collection of named statistics — the workspace-wide metrics
+/// shape returned by [`DeviceStats::metrics`], `Fleet::metrics`,
+/// `ServeReport::metrics`, and `TenantReport::metrics` (the latter two in
+/// `m2ndp_host::serve`).
+///
+/// The set preserves insertion order and iterates exactly like the
+/// `Vec<(String, StatValue)>` it replaced, so every serializer that walks
+/// it (the `figures` sweep harness, table printers) emits byte-identical
+/// output; on top of that it offers keyed lookup ([`MetricSet::get`]) so
+/// callers stop writing ad-hoc linear scans over tuples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricSet {
+    entries: Vec<(String, StatValue)>,
+}
+
+impl MetricSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one named statistic (insertion order is iteration order).
+    pub fn push(&mut self, name: impl Into<String>, value: StatValue) {
+        self.entries.push((name.into(), value));
+    }
+
+    /// The value recorded under `name`, if present. Metric sets are small
+    /// (a dozen entries), so lookup is a scan — the point is that callers
+    /// ask by key instead of hand-rolling the scan.
+    pub fn get(&self, name: &str) -> Option<StatValue> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value under `name` as an `f64` (integer counters widen), if
+    /// present.
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.get(name).map(|v| match v {
+            StatValue::U64(u) => u as f64,
+            StatValue::F64(f) => f,
+        })
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (String, StatValue)> {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl From<Vec<(String, StatValue)>> for MetricSet {
+    fn from(entries: Vec<(String, StatValue)>) -> Self {
+        Self { entries }
+    }
+}
+
+impl FromIterator<(String, StatValue)> for MetricSet {
+    fn from_iter<T: IntoIterator<Item = (String, StatValue)>>(iter: T) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for MetricSet {
+    type Item = (String, StatValue);
+    type IntoIter = std::vec::IntoIter<(String, StatValue)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a MetricSet {
+    type Item = &'a (String, StatValue);
+    type IntoIter = std::slice::Iter<'a, (String, StatValue)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
 impl DeviceStats {
-    /// Every statistic as a `(name, value)` pair, in a fixed documented
-    /// order — the single source of truth for serializers (the `figures`
-    /// sweep harness) and table printers, so adding a field here is the only
-    /// step needed to get it into emitted results.
+    /// Every statistic as a named entry, in a fixed documented order — the
+    /// single source of truth for serializers (the `figures` sweep harness)
+    /// and table printers, so adding a field here is the only step needed
+    /// to get it into emitted results.
     ///
     /// This is the workspace-wide metrics shape: `Fleet::metrics`,
     /// `ServeReport::metrics`, and `TenantReport::metrics` (in
-    /// `m2ndp_host::serve`) return the same `Vec<(String, StatValue)>`, so
-    /// the figure emitters and the `m2ndp-trace` CLI read one API.
-    pub fn metrics(&self) -> Vec<(String, StatValue)> {
-        vec![
+    /// `m2ndp_host::serve`) return the same [`MetricSet`], so the figure
+    /// emitters and the `m2ndp-trace` CLI read one API.
+    pub fn metrics(&self) -> MetricSet {
+        MetricSet::from(vec![
             ("cycles".to_string(), StatValue::U64(self.cycles)),
             ("dram_bytes".to_string(), StatValue::U64(self.dram_bytes)),
             (
@@ -199,7 +292,7 @@ impl DeviceStats {
             ("spad_bytes".to_string(), StatValue::U64(self.spad_bytes)),
             ("l1_hits".to_string(), StatValue::U64(self.l1_hits)),
             ("bi_snoops".to_string(), StatValue::U64(self.bi_snoops)),
-        ]
+        ])
     }
 }
 

@@ -30,7 +30,7 @@ use m2ndp_sim::trace::{EventKind, Lane, TraceEvent, TraceSink};
 use m2ndp_sim::{par, Cycle, Frequency};
 
 use crate::config::M2ndpConfig;
-use crate::device::{CxlM2ndpDevice, DeviceStats, StatValue};
+use crate::device::{CxlM2ndpDevice, DeviceStats, MetricSet};
 use crate::kernel::{KernelId, KernelInstanceId, KernelSpec, LaunchArgs};
 use crate::NdpApiError;
 
@@ -76,6 +76,109 @@ impl FleetConfig {
     }
 }
 
+/// Where a device sits in the elastic add/drain lifecycle.
+///
+/// The fleet is built at its maximum size; elasticity is a *policy* layer
+/// (the serving runtime's autoscaler) flipping these states. The fleet
+/// itself only records them — launch APIs stay mechanical, so tests can
+/// still drive a draining device directly — and the admission policy
+/// (never route new work to a non-[`DeviceLifecycle::Active`] device) is
+/// enforced by the scheduler reading a [`FleetView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceLifecycle {
+    /// Accepting new work.
+    Active,
+    /// Stopped admitting; in-flight kernels are finishing.
+    Draining,
+    /// Idle and parked: no queue, no outstanding work. A drained device
+    /// keeps its memory contents and statistics (they fold into
+    /// [`Fleet::stats`] in index order like every other device's) and can
+    /// be re-activated later.
+    Drained,
+}
+
+/// A point-in-time, policy-facing snapshot of one device: what a serving
+/// scheduler (`m2ndp_host::serve::Scheduler`) is allowed to know when
+/// routing a request.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceView {
+    /// Requests queued (admission backlog) on the device.
+    pub queue_len: usize,
+    /// Kernels currently in flight on the device.
+    pub outstanding: u32,
+    /// Kernel slots currently free.
+    pub free_slots: u32,
+    /// Lifecycle state.
+    pub lifecycle: DeviceLifecycle,
+}
+
+impl DeviceView {
+    /// Total pending work: backlog plus in-flight kernels (the
+    /// shortest-queue routing load signal).
+    pub fn load(&self) -> usize {
+        self.queue_len + self.outstanding as usize
+    }
+}
+
+/// A point-in-time snapshot of the whole fleet, handed to schedulers and
+/// the autoscaler. Plain data: building one never perturbs the simulation,
+/// and routing decisions derived from it are deterministic functions of
+/// its contents.
+#[derive(Debug, Clone)]
+pub struct FleetView {
+    /// One entry per device, in fleet index order.
+    pub devices: Vec<DeviceView>,
+}
+
+impl FleetView {
+    /// Number of devices (active or not).
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the view is empty (never true for a built fleet).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Whether device `i` may be routed new work.
+    pub fn is_admissible(&self, i: usize) -> bool {
+        self.devices[i].lifecycle == DeviceLifecycle::Active
+    }
+
+    /// Number of devices currently accepting work.
+    pub fn active_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.lifecycle == DeviceLifecycle::Active)
+            .count()
+    }
+
+    /// The active device with the least pending work (ties break toward
+    /// the lowest index, keeping the choice deterministic). `None` only if
+    /// no device is active.
+    pub fn shortest_active(&self) -> Option<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.lifecycle == DeviceLifecycle::Active)
+            .min_by_key(|(i, d)| (d.load(), *i))
+            .map(|(i, _)| i)
+    }
+
+    /// The active device with the largest admission backlog, if any device
+    /// has one (the work-stealing victim). Ties break toward the lowest
+    /// index.
+    pub fn longest_active_queue(&self) -> Option<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.lifecycle == DeviceLifecycle::Active && d.queue_len > 0)
+            .max_by_key(|(i, d)| (d.queue_len, usize::MAX - *i))
+            .map(|(i, _)| i)
+    }
+}
+
 /// Outcome of running every launched shard to completion.
 #[derive(Debug, Clone)]
 pub struct FleetRun {
@@ -104,6 +207,9 @@ pub struct Fleet {
     /// Fleet cycle at which each device last became free (advanced by
     /// [`Self::launch_routed_and_run`] and [`Self::run_launched`]).
     device_done: Vec<Cycle>,
+    /// Elastic lifecycle state per device (all [`DeviceLifecycle::Active`]
+    /// at construction).
+    lifecycle: Vec<DeviceLifecycle>,
     /// Worker threads the shard-parallel run paths may use (1 = serial).
     parallelism: usize,
 }
@@ -133,7 +239,54 @@ impl Fleet {
             offload_arrival: vec![0; cfg.devices],
             last_instance: vec![None; cfg.devices],
             device_done: vec![0; cfg.devices],
+            lifecycle: vec![DeviceLifecycle::Active; cfg.devices],
             parallelism: par::env_jobs("M2NDP_FLEET_JOBS").unwrap_or(1),
+        }
+    }
+
+    /// Device `i`'s elastic lifecycle state.
+    pub fn lifecycle(&self, i: usize) -> DeviceLifecycle {
+        self.lifecycle[i]
+    }
+
+    /// Sets device `i`'s lifecycle state. Mechanical: the fleet records the
+    /// state and [`Self::view`] reports it; the *policy* (stop admitting on
+    /// drain, only drain an idle device to `Drained`) lives with the caller
+    /// — the serving runtime's scheduler/autoscaler.
+    pub fn set_lifecycle(&mut self, i: usize, state: DeviceLifecycle) {
+        self.lifecycle[i] = state;
+    }
+
+    /// Number of devices currently [`DeviceLifecycle::Active`].
+    pub fn active_devices(&self) -> usize {
+        self.lifecycle
+            .iter()
+            .filter(|&&l| l == DeviceLifecycle::Active)
+            .count()
+    }
+
+    /// A policy-facing snapshot of the fleet. The fleet only knows each
+    /// device's lifecycle; the caller supplies the per-device admission
+    /// state it tracks (`queue_len`, `outstanding`, `free_slots` per
+    /// device, in index order).
+    ///
+    /// # Panics
+    /// Panics when `admission` does not have one entry per device.
+    pub fn view(&self, admission: &[(usize, u32, u32)]) -> FleetView {
+        assert_eq!(admission.len(), self.devices.len());
+        FleetView {
+            devices: admission
+                .iter()
+                .zip(&self.lifecycle)
+                .map(
+                    |(&(queue_len, outstanding, free_slots), &lifecycle)| DeviceView {
+                        queue_len,
+                        outstanding,
+                        free_slots,
+                        lifecycle,
+                    },
+                )
+                .collect(),
         }
     }
 
@@ -287,6 +440,58 @@ impl Fleet {
         let inst = self.devices[dev].m2func_launch(asid, args)?;
         self.last_instance[dev] = Some(inst);
         Ok((dev, inst, arrival))
+    }
+
+    /// Launches on an *explicitly chosen* device — the entry point for
+    /// pluggable serving schedulers, which decide placement themselves
+    /// instead of delegating to the [`HdmRouter`]. The launch store is
+    /// charged through the switch exactly like [`Self::launch_routed`]
+    /// (host port → device port, both bandwidth gates plus traversal
+    /// latency), so scheduler-routed and HDM-routed launches cost the same
+    /// fabric.
+    ///
+    /// Returns the instance id and the fleet cycle the store arrived at
+    /// the device port.
+    ///
+    /// # Errors
+    /// Whatever the device's launch returns.
+    pub fn launch_on(
+        &mut self,
+        issue: Cycle,
+        dev: usize,
+        args: LaunchArgs,
+    ) -> Result<(KernelInstanceId, Cycle), NdpApiError> {
+        let arrival = self
+            .switch
+            .host_to_device_unordered(issue, dev, M2FUNC_OFFLOAD_BYTES);
+        self.offload_arrival[dev] = self.offload_arrival[dev].max(arrival);
+        self.trace_hop(dev, issue, arrival);
+        let inst = self.devices[dev].launch(args)?;
+        self.last_instance[dev] = Some(inst);
+        Ok((inst, arrival))
+    }
+
+    /// [`Self::launch_on`] through the full M²func wire protocol (encode →
+    /// switch → controller decode, like [`Self::m2func_launch_routed`] with
+    /// the placement decision supplied by the caller).
+    ///
+    /// # Errors
+    /// Whatever error the device's controller returned.
+    pub fn m2func_launch_on(
+        &mut self,
+        issue: Cycle,
+        dev: usize,
+        asid: u16,
+        args: LaunchArgs,
+    ) -> Result<(KernelInstanceId, Cycle), NdpApiError> {
+        let arrival = self
+            .switch
+            .host_to_device_unordered(issue, dev, M2FUNC_OFFLOAD_BYTES);
+        self.offload_arrival[dev] = self.offload_arrival[dev].max(arrival);
+        self.trace_hop(dev, issue, arrival);
+        let inst = self.devices[dev].m2func_launch(asid, args)?;
+        self.last_instance[dev] = Some(inst);
+        Ok((inst, arrival))
     }
 
     /// Runs every device until its most recently launched instance
@@ -469,7 +674,7 @@ impl Fleet {
 
     /// Aggregate fleet statistics in the workspace-wide metrics shape
     /// (same names and order as [`DeviceStats::metrics`]).
-    pub fn metrics(&self) -> Vec<(String, StatValue)> {
+    pub fn metrics(&self) -> MetricSet {
         self.stats().metrics()
     }
 

@@ -14,7 +14,7 @@ use m2ndp_core::fleet::{Fleet, FleetConfig};
 use m2ndp_core::{CxlM2ndpDevice, M2ndpConfig};
 use m2ndp_cxl::SwitchConfig;
 use m2ndp_host::offload::{OffloadMechanism, OffloadModel, OffloadSim};
-use m2ndp_host::serve::{self, Arrival, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
+use m2ndp_host::serve::{self, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
 use proptest::prelude::*;
 
 /// Maps a drawn index onto a mechanism (the vendored proptest subset has
@@ -48,24 +48,14 @@ fn backend(devices: usize) -> ServeBackend {
 
 fn tenants(requests: usize, rate: f64, seed: u64) -> Vec<TenantSpec> {
     vec![
-        TenantSpec {
-            name: "poisson".into(),
-            arrival: Arrival::Poisson {
-                rate_per_sec: rate * 0.6,
-            },
-            requests,
-            slo_ns: 10_000.0,
-            seed,
-        },
-        TenantSpec {
-            name: "trace".into(),
-            arrival: Arrival::Trace {
-                gaps_ns: vec![0.5e9 / rate, 2.0e9 / rate],
-            },
-            requests: requests / 2,
-            slo_ns: 10_000.0,
-            seed: seed ^ 0xF00D,
-        },
+        TenantSpec::poisson("poisson", rate * 0.6)
+            .requests(requests)
+            .slo_ns(10_000.0)
+            .seed(seed),
+        TenantSpec::trace("trace", vec![0.5e9 / rate, 2.0e9 / rate])
+            .requests(requests / 2)
+            .slo_ns(10_000.0)
+            .seed(seed ^ 0xF00D),
     ]
 }
 
@@ -137,6 +127,42 @@ proptest! {
             "throughput {:.3e} exceeds capacity {:.3e}",
             res.throughput,
             capacity
+        );
+    }
+
+    /// Burst arrivals are monotone non-decreasing and their long-run mean
+    /// rate converges to the configured rate — the property that keeps
+    /// bursty cells comparable to Poisson cells at the same offered load.
+    #[test]
+    fn burst_mean_rate_converges_to_configured_rate(
+        rate in 1e5f64..2e7,
+        burst_factor in 1.0f64..16.0,
+        period_us in 10.0f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        // Size the sample to span ~20 burst periods: a window shorter than
+        // a period sees mostly the burst (or mostly the lull) phase and
+        // its empirical rate says nothing about the configured mean.
+        let per_period = rate * period_us * 1_000.0 * 1e-9;
+        let n = (per_period * 20.0).max(2_000.0).ceil() as usize;
+        let spec = TenantSpec::burst("bursty", rate, burst_factor, period_us * 1_000.0)
+            .requests(n)
+            .seed(seed);
+        let times = serve::arrival_times(&spec);
+        prop_assert_eq!(times.len(), n);
+        for w in times.windows(2) {
+            prop_assert!(w[1] >= w[0], "arrivals must be monotone");
+        }
+        let span_s = times.last().unwrap() * 1e-9;
+        prop_assert!(span_s > 0.0);
+        let empirical = times.len() as f64 / span_s;
+        let err = (empirical - rate).abs() / rate;
+        // >= 2000 Poisson arrivals have a <= ~2.2% relative std-dev; allow
+        // a generous band plus edge effects from the partial last period
+        // (bounded by per_period / n <= 1/20).
+        prop_assert!(
+            err < 0.15,
+            "empirical rate {empirical:.3e} vs configured {rate:.3e} (err {err:.3})"
         );
     }
 }

@@ -27,7 +27,11 @@
 //!   CXL switch (host port → device port);
 //! * **Serving** — [`EventKind::ReqPhase`] spans decomposing each served
 //!   request into queue → launch → execute → link phases that sum exactly
-//!   to its end-to-end latency.
+//!   to its end-to-end latency;
+//! * **Scheduling** — [`EventKind::Route`] instants marking where a
+//!   dynamic scheduler placed each request, and [`EventKind::Scale`]
+//!   instants marking the autoscaler's device lifecycle transitions
+//!   (activate → drain start → drain done).
 //!
 //! ## Clock domains
 //!
@@ -124,6 +128,28 @@ impl ReqPhase {
     }
 }
 
+/// Which way an elastic-fleet scale event moved (see [`EventKind::Scale`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDir {
+    /// A parked device was (re-)activated.
+    Up,
+    /// A device stopped admitting and began finishing in-flight work.
+    DrainStart,
+    /// A draining device went idle and parked.
+    DrainDone,
+}
+
+impl ScaleDir {
+    /// Stable lowercase name (trace event name and CLI tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleDir::Up => "scale up",
+            ScaleDir::DrainStart => "drain start",
+            ScaleDir::DrainDone => "drain done",
+        }
+    }
+}
+
 /// What happened. Span-shaped kinds carry their duration; the rest are
 /// instants.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,6 +230,27 @@ pub enum EventKind {
         /// its end-to-end latency.
         dur_ns: f64,
     },
+    /// A scheduler placed a request on a device (serving wall clock;
+    /// emitted by dynamic schedulers, whose placement is a decision rather
+    /// than a pure function of the key).
+    Route {
+        /// Issuing tenant index.
+        tenant: u16,
+        /// Per-tenant sequence number.
+        seq: u64,
+        /// Device the request was routed to.
+        dst: u16,
+    },
+    /// The autoscaler changed a device's lifecycle state (serving wall
+    /// clock).
+    Scale {
+        /// The device whose lifecycle changed.
+        device: u16,
+        /// Which way.
+        dir: ScaleDir,
+        /// Active devices after the change.
+        active: u32,
+    },
 }
 
 impl EventKind {
@@ -221,6 +268,8 @@ impl EventKind {
             EventKind::DramTxn { write: false, .. } => "dram read".to_string(),
             EventKind::SwitchHop { .. } => "switch hop".to_string(),
             EventKind::ReqPhase { phase, .. } => phase.name().to_string(),
+            EventKind::Route { .. } => "route".to_string(),
+            EventKind::Scale { dir, .. } => dir.name().to_string(),
         }
     }
 
@@ -233,6 +282,7 @@ impl EventKind {
             EventKind::DramTxn { .. } => "dram",
             EventKind::SwitchHop { .. } => "switch",
             EventKind::ReqPhase { .. } => "serve",
+            EventKind::Route { .. } | EventKind::Scale { .. } => "sched",
         }
     }
 
@@ -283,6 +333,15 @@ impl EventKind {
             EventKind::ReqPhase { tenant, seq, .. } => Json::Obj(vec![
                 ("tenant".to_string(), Json::U64(u64::from(*tenant))),
                 ("seq".to_string(), Json::U64(*seq)),
+            ]),
+            EventKind::Route { tenant, seq, dst } => Json::Obj(vec![
+                ("tenant".to_string(), Json::U64(u64::from(*tenant))),
+                ("seq".to_string(), Json::U64(*seq)),
+                ("dst".to_string(), Json::U64(u64::from(*dst))),
+            ]),
+            EventKind::Scale { device, active, .. } => Json::Obj(vec![
+                ("device".to_string(), Json::U64(u64::from(*device))),
+                ("active".to_string(), Json::U64(u64::from(*active))),
             ]),
         }
     }

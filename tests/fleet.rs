@@ -12,7 +12,7 @@ use m2ndp::core::fleet::{Fleet, FleetConfig, SwitchNdp};
 use m2ndp::core::M2ndpConfig;
 use m2ndp::cxl::SwitchConfig;
 use m2ndp::host::offload::OffloadMechanism;
-use m2ndp::host::serve::{self, Arrival, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
+use m2ndp::host::serve::{self, KvServeWorkload, ServeBackend, ServeConfig, TenantSpec};
 use m2ndp::workloads::{dlrm, opt};
 
 fn device_cfg() -> M2ndpConfig {
@@ -215,24 +215,14 @@ fn serve_run_is_bit_identical_at_any_fleet_parallelism() {
         let cfg = ServeConfig::with_defaults(OffloadMechanism::M2Func);
         let rate = 2e6;
         let tenants = vec![
-            TenantSpec {
-                name: "interactive".into(),
-                arrival: Arrival::Poisson {
-                    rate_per_sec: rate * 0.7,
-                },
-                requests: 150,
-                slo_ns: 5_000.0,
-                seed: 0x5EA1,
-            },
-            TenantSpec {
-                name: "batch".into(),
-                arrival: Arrival::Trace {
-                    gaps_ns: vec![0.6e9 / (rate * 0.3), 1.4e9 / (rate * 0.3)],
-                },
-                requests: 75,
-                slo_ns: 5_000.0,
-                seed: 0x5EB2,
-            },
+            TenantSpec::poisson("interactive", rate * 0.7)
+                .requests(150)
+                .slo_ns(5_000.0)
+                .seed(0x5EA1),
+            TenantSpec::trace("batch", vec![0.6e9 / (rate * 0.3), 1.4e9 / (rate * 0.3)])
+                .requests(75)
+                .slo_ns(5_000.0)
+                .seed(0x5EB2),
         ];
         let mut report = serve::run(&mut backend, &mut wl, &cfg, &tenants);
         let fleet = backend.fleet().expect("fleet backend");
