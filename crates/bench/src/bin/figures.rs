@@ -23,6 +23,21 @@
 //!                          cell/fleet worker counts, and each cell's worker
 //!                          id — the perf-trajectory artifact; wall times
 //!                          never enter the result JSON)
+//!   --timing-append FILE   append this run to a committed perf-trajectory
+//!                          history (BENCH_TIMING.json): one entry per git
+//!                          revision (rev from $M2NDP_GIT_REV, else
+//!                          `git rev-parse --short HEAD`, else "unknown")
+//!                          with per-cell wall seconds and steps/sec;
+//!                          re-running on the same revision replaces its
+//!                          entry in place
+//!   --timing-gate FILE     perf-trajectory gate: compare this run's
+//!                          per-cell speed (simulated cycles per wall
+//!                          second; cells/sec for analytic cells) against
+//!                          the latest entry in FILE and exit nonzero when
+//!                          a cell drops below the file's committed
+//!                          `tolerance.min_speed_frac` — the wall-clock
+//!                          analogue of `--snapshot`. The tolerance is
+//!                          wide by design (catches blowups, not jitter)
 //!   --trace DIR            also re-run every selected serving cell with
 //!                          the observability layer on and write one Chrome
 //!                          trace-event JSON per cell to DIR (load in
@@ -59,6 +74,7 @@ use m2ndp::sim::par;
 use m2ndp_bench::golden::{self, Verdict};
 use m2ndp_bench::json::Json;
 use m2ndp_bench::sweep::{self, CellOut, CellRun, FigId, JobBudget, Metric};
+use m2ndp_bench::timing;
 
 struct Options {
     only: Vec<FigId>,
@@ -68,6 +84,8 @@ struct Options {
     check: bool,
     out: String,
     timing: Option<String>,
+    timing_append: Option<String>,
+    timing_gate: Option<String>,
     trace: Option<String>,
     snapshot: Option<String>,
     scheduler: Option<SchedulerKind>,
@@ -78,7 +96,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: figures [--only fig10a,fig10c,...] [--fast] [--jobs N] [--fleet-jobs N] \
-         [--check] [--out DIR] [--timing FILE] [--trace DIR] [--snapshot FILE] \
+         [--check] [--out DIR] [--timing FILE] [--timing-append FILE] [--timing-gate FILE] \
+         [--trace DIR] [--snapshot FILE] \
          [--scheduler NAME] [--list] [--quiet]\nfigures: {}\nschedulers: {}",
         FigId::all().map(FigId::id).join(", "),
         SchedulerKind::all().map(SchedulerKind::name).join(", ")
@@ -97,6 +116,8 @@ fn parse_args() -> Options {
         check: false,
         out: "target/figures".to_string(),
         timing: None,
+        timing_append: None,
+        timing_gate: None,
         trace: None,
         snapshot: None,
         scheduler: None,
@@ -147,6 +168,12 @@ fn parse_args() -> Options {
             "--check" => opts.check = true,
             "--out" => opts.out = args.next().unwrap_or_else(|| usage()),
             "--timing" => opts.timing = Some(args.next().unwrap_or_else(|| usage())),
+            "--timing-append" => {
+                opts.timing_append = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--timing-gate" => {
+                opts.timing_gate = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--snapshot" => opts.snapshot = Some(args.next().unwrap_or_else(|| usage())),
             "--scheduler" => {
@@ -316,6 +343,26 @@ fn snapshot_mismatches(
     mismatches
 }
 
+/// The revision recorded in `BENCH_TIMING.json` entries: `$M2NDP_GIT_REV`
+/// when set (CI passes the exact commit under test), else the working
+/// tree's `git rev-parse --short HEAD`, else `"unknown"`.
+fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("M2NDP_GIT_REV") {
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if opts.list {
@@ -364,6 +411,41 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::write(path, json.pretty() + "\n") {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::from(2);
+        }
+    }
+
+    let cell_timings = timing::cell_timings(&all_cells, &runs);
+    if let Some(path) = &opts.timing_append {
+        let entry = timing::entry_json(
+            &git_rev(),
+            opts.fast,
+            opts.jobs,
+            opts.fleet_jobs,
+            wall_total,
+            &cell_timings,
+        );
+        let history = match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(h) => match timing::append_entry(h, entry) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(e) => {
+                    eprintln!("{path} is not valid JSON: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => timing::fresh_history(entry),
+        };
+        if let Err(e) = std::fs::write(path, history.pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        if !opts.quiet {
+            eprintln!("timing history updated: {path}");
         }
     }
 
@@ -473,6 +555,50 @@ fn main() -> ExitCode {
                  BENCH_RESULTS.json"
             );
             gate_failed = true;
+        }
+    }
+
+    if let Some(path) = &opts.timing_gate {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read timing history {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let history = match Json::parse(&text) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("timing history {path} is not valid JSON: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match timing::gate(&history, &cell_timings) {
+            Ok(report) => {
+                println!(
+                    "\ntiming gate against {path}: {} cell(s) compared, {} skipped, \
+                     {} regression(s) (tolerance: >= {:.0}% of baseline speed)",
+                    report.compared,
+                    report.skipped,
+                    report.regressions.len(),
+                    timing::min_speed_frac(&history) * 100.0
+                );
+                if !report.regressions.is_empty() {
+                    for r in &report.regressions {
+                        println!("  SLOW {r}");
+                    }
+                    eprintln!(
+                        "wall-clock trajectory regressed; if the slowdown is intended, \
+                         record a new baseline with `figures --timing-append {path}` \
+                         and commit it"
+                    );
+                    gate_failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("timing gate: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
 

@@ -1,0 +1,308 @@
+//! The committed perf trajectory: `BENCH_TIMING.json` history and the
+//! `figures --timing-gate` regression check — the wall-clock analogue of
+//! the `--snapshot` byte-stability gate.
+//!
+//! `BENCH_TIMING.json` is an append-only history of sweep timings, one
+//! entry per recorded git revision (`--timing-append` replaces an entry
+//! when re-run on the same revision, so CI retries don't duplicate).
+//! Each entry stores per-cell wall seconds and a *speed* figure:
+//! simulated cycles per wall second for device-backed cells, or cell
+//! completions per wall second (`1 / wall`) for analytic and
+//! latency-distribution cells whose `cycles` is 0.
+//!
+//! The gate compares the current run against the **latest** history entry
+//! cell by cell and fails when a cell's speed drops below
+//! `min_speed_frac` of its baseline. Wall clock is inherently noisy —
+//! the committed tolerance is deliberately wide (it exists to catch
+//! order-of-magnitude blowups, not 10% drift), and cells faster than
+//! [`MIN_GATE_WALL_S`] in either run are skipped as pure noise.
+
+use crate::json::Json;
+use crate::sweep::{CellRun, CellSpec};
+
+/// Default speed-fraction tolerance when the history file carries none:
+/// a cell fails the gate only when it runs slower than this fraction of
+/// its baseline speed (4× slowdown). Wide on purpose — CI machines and
+/// re-runs on the same machine both show >1.5× wall-clock variance.
+pub const DEFAULT_MIN_SPEED_FRAC: f64 = 0.25;
+
+/// Cells whose baseline or current wall time is below this many seconds
+/// are skipped by the gate: at sub-50 ms scale, scheduler jitter swamps
+/// any real regression signal.
+pub const MIN_GATE_WALL_S: f64 = 0.05;
+
+/// Per-cell timing of one sweep run, in gate-comparable form.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// `<figure>/<cell key>` — the same key space the snapshot gate uses.
+    pub key: String,
+    /// Wall-clock seconds the cell took.
+    pub wall_seconds: f64,
+    /// Simulated cycles per wall second (device cells), or cell
+    /// completions per wall second (analytic cells with `cycles == 0`).
+    pub steps_per_sec: f64,
+}
+
+/// Extracts gate-comparable timings from an executed sweep.
+pub fn cell_timings(cells: &[CellSpec], runs: &[CellRun]) -> Vec<CellTiming> {
+    cells
+        .iter()
+        .zip(runs)
+        .map(|(spec, run)| {
+            let wall = run.wall_s.max(1e-9);
+            let steps = if run.out.cycles > 0 {
+                run.out.cycles as f64 / wall
+            } else {
+                1.0 / wall
+            };
+            CellTiming {
+                key: format!("{}/{}", spec.fig.id(), spec.key),
+                wall_seconds: run.wall_s,
+                steps_per_sec: steps,
+            }
+        })
+        .collect()
+}
+
+/// One history entry: the run's identity plus its per-cell timings.
+pub fn entry_json(
+    rev: &str,
+    fast: bool,
+    jobs: usize,
+    fleet_jobs: usize,
+    wall_total: f64,
+    cells: &[CellTiming],
+) -> Json {
+    Json::Obj(vec![
+        ("rev".to_string(), Json::Str(rev.to_string())),
+        ("fast".to_string(), Json::Bool(fast)),
+        ("jobs".to_string(), Json::U64(jobs as u64)),
+        ("fleet_jobs".to_string(), Json::U64(fleet_jobs as u64)),
+        ("wall_seconds".to_string(), Json::F64(wall_total)),
+        (
+            "cells".to_string(),
+            Json::Obj(
+                cells
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.key.clone(),
+                            Json::Obj(vec![
+                                ("wall_seconds".to_string(), Json::F64(c.wall_seconds)),
+                                ("steps_per_sec".to_string(), Json::F64(c.steps_per_sec)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// A fresh history file containing `entry` alone.
+pub fn fresh_history(entry: Json) -> Json {
+    Json::Obj(vec![
+        ("schema_version".to_string(), Json::U64(1)),
+        (
+            "generator".to_string(),
+            Json::Str("m2ndp_bench figures --timing-append".to_string()),
+        ),
+        (
+            "tolerance".to_string(),
+            Json::Obj(vec![(
+                "min_speed_frac".to_string(),
+                Json::F64(DEFAULT_MIN_SPEED_FRAC),
+            )]),
+        ),
+        ("entries".to_string(), Json::Arr(vec![entry])),
+    ])
+}
+
+/// Appends `entry` to a history file, replacing an existing entry with
+/// the same `rev` (so a CI re-run of one revision updates in place and
+/// the history stays one entry per revision).
+///
+/// # Errors
+/// Returns a description when `history` is not a history object.
+pub fn append_entry(mut history: Json, entry: Json) -> Result<Json, String> {
+    let rev = entry.get("rev").cloned();
+    let Json::Obj(pairs) = &mut history else {
+        return Err("timing history is not a JSON object".to_string());
+    };
+    let Some((_, Json::Arr(entries))) = pairs.iter_mut().find(|(k, _)| k == "entries") else {
+        return Err("timing history has no `entries` array".to_string());
+    };
+    match entries.iter_mut().find(|e| e.get("rev") == rev.as_ref()) {
+        Some(slot) => *slot = entry,
+        None => entries.push(entry),
+    }
+    Ok(history)
+}
+
+/// The latest (last) entry of a history file, if any.
+pub fn last_entry(history: &Json) -> Option<&Json> {
+    match history.get("entries") {
+        Some(Json::Arr(entries)) => entries.last(),
+        _ => None,
+    }
+}
+
+/// The history's committed tolerance, falling back to
+/// [`DEFAULT_MIN_SPEED_FRAC`].
+pub fn min_speed_frac(history: &Json) -> f64 {
+    history
+        .get("tolerance")
+        .and_then(|t| t.get("min_speed_frac"))
+        .and_then(Json::as_f64)
+        .unwrap_or(DEFAULT_MIN_SPEED_FRAC)
+}
+
+/// Gate report: how many cells were compared and which regressed.
+#[derive(Debug)]
+pub struct GateReport {
+    /// Cells present in both the run and the baseline and above the
+    /// noise floor.
+    pub compared: usize,
+    /// Cells skipped (no baseline, or below the noise floor).
+    pub skipped: usize,
+    /// One description per regressed cell (empty = gate passes).
+    pub regressions: Vec<String>,
+}
+
+/// Compares `current` against the latest entry of `history`.
+///
+/// # Errors
+/// Returns a description when the history has no entries to gate against.
+pub fn gate(history: &Json, current: &[CellTiming]) -> Result<GateReport, String> {
+    let Some(baseline) = last_entry(history) else {
+        return Err("timing history has no entries; record one with --timing-append".to_string());
+    };
+    let frac = min_speed_frac(history);
+    let cells = baseline.get("cells");
+    let mut report = GateReport {
+        compared: 0,
+        skipped: 0,
+        regressions: Vec::new(),
+    };
+    for cur in current {
+        let base = cells.and_then(|c| c.get(&cur.key));
+        let (Some(base_wall), Some(base_steps)) = (
+            base.and_then(|b| b.get("wall_seconds"))
+                .and_then(Json::as_f64),
+            base.and_then(|b| b.get("steps_per_sec"))
+                .and_then(Json::as_f64),
+        ) else {
+            report.skipped += 1; // new cell: no trajectory yet
+            continue;
+        };
+        if base_wall < MIN_GATE_WALL_S || cur.wall_seconds < MIN_GATE_WALL_S || base_steps <= 0.0 {
+            report.skipped += 1; // noise floor
+            continue;
+        }
+        report.compared += 1;
+        if cur.steps_per_sec < frac * base_steps {
+            report.regressions.push(format!(
+                "{}: {:.3e} steps/s vs baseline {:.3e} ({}x slower, tolerance {}x)",
+                cur.key,
+                cur.steps_per_sec,
+                base_steps,
+                (base_steps / cur.steps_per_sec.max(1e-12)).round(),
+                (1.0 / frac).round(),
+            ));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(key: &str, wall: f64, steps: f64) -> CellTiming {
+        CellTiming {
+            key: key.to_string(),
+            wall_seconds: wall,
+            steps_per_sec: steps,
+        }
+    }
+
+    fn history_with(cells: &[CellTiming]) -> Json {
+        fresh_history(entry_json("abc123", true, 4, 4, 10.0, cells))
+    }
+
+    #[test]
+    fn gate_passes_on_identical_timings() {
+        let cells = vec![timing("fig10a/a", 1.0, 1e6), timing("fig11c/b", 2.0, 5e5)];
+        let report = gate(&history_with(&cells), &cells).unwrap();
+        assert_eq!(report.compared, 2);
+        assert!(report.regressions.is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_large_slowdown_and_tolerates_noise() {
+        let base = vec![timing("fig10a/a", 1.0, 1e6)];
+        let hist = history_with(&base);
+        // 2x slower: inside the 4x default tolerance.
+        let ok = gate(&hist, &[timing("fig10a/a", 2.0, 5e5)]).unwrap();
+        assert!(ok.regressions.is_empty());
+        // 10x slower: regression.
+        let bad = gate(&hist, &[timing("fig10a/a", 10.0, 1e5)]).unwrap();
+        assert_eq!(bad.regressions.len(), 1, "{:?}", bad.regressions);
+    }
+
+    #[test]
+    fn gate_skips_new_cells_and_noise_floor() {
+        let base = vec![timing("fig10a/a", 0.001, 1e6)];
+        let hist = history_with(&base);
+        let current = vec![
+            timing("fig10a/a", 0.001, 1e3), // below noise floor in both runs
+            timing("fig12/new", 5.0, 1e2),  // not in baseline
+        ];
+        let report = gate(&hist, &current).unwrap();
+        assert_eq!(report.compared, 0);
+        assert_eq!(report.skipped, 2);
+        assert!(report.regressions.is_empty());
+    }
+
+    #[test]
+    fn gate_errors_without_entries() {
+        let empty = Json::Obj(vec![("entries".to_string(), Json::Arr(vec![]))]);
+        assert!(gate(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn append_replaces_same_rev_and_appends_new() {
+        let hist = history_with(&[timing("fig10a/a", 1.0, 1e6)]);
+        // Same rev: replaced in place.
+        let e2 = entry_json("abc123", true, 4, 4, 12.0, &[timing("fig10a/a", 1.2, 9e5)]);
+        let hist = append_entry(hist, e2).unwrap();
+        let Json::Arr(entries) = hist.get("entries").unwrap() else {
+            panic!("entries not an array");
+        };
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].get("wall_seconds").and_then(Json::as_f64),
+            Some(12.0)
+        );
+        // New rev: appended; the gate baselines against it (the latest).
+        let e3 = entry_json("def456", true, 4, 4, 11.0, &[timing("fig10a/a", 1.1, 8e5)]);
+        let hist = append_entry(hist, e3).unwrap();
+        let Json::Arr(entries) = hist.get("entries").unwrap() else {
+            panic!("entries not an array");
+        };
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            last_entry(&hist).unwrap().get("rev"),
+            Some(&Json::Str("def456".to_string()))
+        );
+    }
+
+    #[test]
+    fn cell_speed_uses_cycles_when_present() {
+        // Synthetic check of the speed definition via entry_json round-trip.
+        let cells = vec![timing("f/a", 2.0, 500.0)];
+        let entry = entry_json("r", false, 1, 1, 2.0, &cells);
+        let c = entry.get("cells").unwrap().get("f/a").unwrap();
+        assert_eq!(c.get("steps_per_sec").and_then(Json::as_f64), Some(500.0));
+    }
+}

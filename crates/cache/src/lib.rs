@@ -23,4 +23,7 @@ pub mod scratchpad;
 pub mod sectored;
 
 pub use scratchpad::Scratchpad;
-pub use sectored::{Access, CacheConfig, CacheResult, CacheStats, SectoredCache, WritePolicy};
+pub use sectored::{
+    Access, CacheConfig, CacheResult, CacheStats, SectorFetchIter, SectorFetches, SectoredCache,
+    WritePolicy,
+};

@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use m2ndp_sim::{Counter, Cycle};
+use m2ndp_sim::{Counter, Cycle, Fingerprint};
 
 /// Write-handling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +155,124 @@ pub struct Access {
     pub write: bool,
 }
 
+/// The sector-aligned fetch addresses produced by a miss, as a `Copy`
+/// iterator over `(line address, sector mask)` instead of an allocated
+/// `Vec<u64>` — producing one is free and iterating walks the set bits.
+///
+/// ```
+/// # use m2ndp_cache::SectorFetches;
+/// let f = SectorFetches::new(0x1000, 0b101, 32);
+/// assert_eq!(f.len(), 2);
+/// let addrs: Vec<u64> = f.into_iter().collect();
+/// assert_eq!(addrs, vec![0x1000, 0x1040]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SectorFetches {
+    line_addr: u64,
+    mask: u32,
+    sector_bytes: u32,
+}
+
+impl SectorFetches {
+    /// Fetches for the sectors of `mask` within the line at `line_addr`.
+    pub fn new(line_addr: u64, mask: u32, sector_bytes: u32) -> Self {
+        Self {
+            line_addr,
+            mask,
+            sector_bytes,
+        }
+    }
+
+    /// Number of sector addresses.
+    pub fn len(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Whether there is nothing to fetch.
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Whether `addr` is one of the fetch addresses.
+    pub fn contains(&self, addr: u64) -> bool {
+        let base = self.line_addr;
+        let span = self.sector_bytes as u64 * 32;
+        if addr < base || addr >= base + span {
+            return false;
+        }
+        let off = addr - base;
+        off.is_multiple_of(self.sector_bytes as u64)
+            && self.mask & (1 << (off / self.sector_bytes as u64)) != 0
+    }
+
+    /// The addresses as a fresh `Vec` (test/debug convenience; the hot path
+    /// iterates directly).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.into_iter().collect()
+    }
+}
+
+/// Two fetch sets are equal when they denote the same address sequence
+/// (all empty sets are equal regardless of line).
+impl PartialEq for SectorFetches {
+    fn eq(&self, other: &Self) -> bool {
+        self.mask == other.mask
+            && (self.mask == 0
+                || (self.line_addr == other.line_addr && self.sector_bytes == other.sector_bytes))
+    }
+}
+impl Eq for SectorFetches {}
+
+/// Iterates the sector addresses in ascending order, allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct SectorFetchIter {
+    line_addr: u64,
+    mask: u32,
+    sector_bytes: u32,
+}
+
+impl Iterator for SectorFetchIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.mask == 0 {
+            return None;
+        }
+        let s = self.mask.trailing_zeros();
+        self.mask &= self.mask - 1;
+        Some(self.line_addr + s as u64 * self.sector_bytes as u64)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.mask.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SectorFetchIter {}
+
+impl IntoIterator for SectorFetches {
+    type Item = u64;
+    type IntoIter = SectorFetchIter;
+
+    fn into_iter(self) -> SectorFetchIter {
+        SectorFetchIter {
+            line_addr: self.line_addr,
+            mask: self.mask,
+            sector_bytes: self.sector_bytes,
+        }
+    }
+}
+
+impl IntoIterator for &SectorFetches {
+    type Item = u64;
+    type IntoIter = SectorFetchIter;
+
+    fn into_iter(self) -> SectorFetchIter {
+        (*self).into_iter()
+    }
+}
+
 /// Result of presenting an access.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CacheResult {
@@ -171,7 +289,7 @@ pub enum CacheResult {
     /// allocating evicted a dirty victim, `writeback` carries the flush.
     Miss {
         /// Sector-aligned addresses to fetch downstream.
-        fetches: Vec<u64>,
+        fetches: SectorFetches,
         /// Dirty data to write downstream (address, bytes), if any.
         writeback: Option<(u64, u32)>,
     },
@@ -245,17 +363,32 @@ struct MshrEntry<T> {
     line_addr: u64,
     pending_sectors: u32,
     waiters: Vec<(T, u32)>, // (token, sectors it needs)
+    /// Next entry index in the same hash bucket ([`MSHR_NIL`] terminates).
+    next: u32,
 }
+
+/// Chain terminator for the MSHR hash index.
+const MSHR_NIL: u32 = u32::MAX;
 
 /// A sectored, set-associative, MSHR-backed cache.
 ///
 /// `T` is the owner's request token type (popped from [`Self::pop_ready`]
 /// when fills complete).
+///
+/// Storage is a single flat `lines` array indexed `set * ways + way`
+/// (better locality than a `Vec<Vec<_>>` of sets and one less indirection
+/// per probe), and MSHRs are found through a line-address hash index rather
+/// than a linear scan.
 #[derive(Debug)]
 pub struct SectoredCache<T> {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines, flat: `lines[set * ways .. (set + 1) * ways]` is one set.
+    lines: Vec<Line>,
+    num_sets: u64,
+    ways: usize,
     mshrs: Vec<MshrEntry<T>>,
+    /// Hash buckets mapping a line address to a chain of `mshrs` indices.
+    mshr_heads: Vec<u32>,
     ready: VecDeque<(Cycle, T)>,
     use_clock: u64,
     stats: CacheStats,
@@ -272,15 +405,19 @@ impl<T> SectoredCache<T> {
         assert!(config.sector_bytes.is_power_of_two());
         assert!(config.sector_bytes <= config.line_bytes);
         assert!(config.sectors_per_line() <= 32, "sector mask is a u32");
-        let sets = config.sets();
-        assert!(sets > 0, "cache must have at least one set");
-        let sets = (0..sets)
-            .map(|_| vec![Line::empty(); config.ways as usize])
-            .collect();
+        let num_sets = config.sets();
+        assert!(num_sets > 0, "cache must have at least one set");
+        let ways = config.ways as usize;
+        let lines = vec![Line::empty(); num_sets as usize * ways];
+        // ~2x-load-factor bucket array keeps chains at length 0 or 1.
+        let buckets = (config.mshr_entries.max(1) * 2).next_power_of_two();
         Self {
             config,
-            sets,
+            lines,
+            num_sets,
+            ways,
             mshrs: Vec::new(),
+            mshr_heads: vec![MSHR_NIL; buckets],
             ready: VecDeque::new(),
             use_clock: 0,
             stats: CacheStats::default(),
@@ -292,7 +429,78 @@ impl<T> SectoredCache<T> {
     }
 
     fn set_index(&self, line_addr: u64) -> usize {
-        ((line_addr / self.config.line_bytes as u64) % self.sets.len() as u64) as usize
+        ((line_addr / self.config.line_bytes as u64) % self.num_sets) as usize
+    }
+
+    /// Hash bucket for an MSHR line address (Fibonacci multiplicative hash;
+    /// deterministic, unlike `std`'s seeded `HashMap`).
+    fn mshr_bucket(&self, line_addr: u64) -> usize {
+        let h = line_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.mshr_heads.len() - 1)
+    }
+
+    /// Index of the MSHR covering `line_addr`, if any.
+    fn mshr_lookup(&self, line_addr: u64) -> Option<usize> {
+        let mut cur = self.mshr_heads[self.mshr_bucket(line_addr)];
+        while cur != MSHR_NIL {
+            let e = &self.mshrs[cur as usize];
+            if e.line_addr == line_addr {
+                return Some(cur as usize);
+            }
+            cur = e.next;
+        }
+        None
+    }
+
+    /// Links the entry at `pos` (already pushed to `mshrs`) into the index.
+    fn mshr_link(&mut self, pos: usize) {
+        let bucket = self.mshr_bucket(self.mshrs[pos].line_addr);
+        self.mshrs[pos].next = self.mshr_heads[bucket];
+        self.mshr_heads[bucket] = pos as u32;
+    }
+
+    /// Unlinks the entry at `pos` from its bucket chain.
+    fn mshr_unlink(&mut self, pos: usize) {
+        let bucket = self.mshr_bucket(self.mshrs[pos].line_addr);
+        let mut cur = self.mshr_heads[bucket];
+        if cur == pos as u32 {
+            self.mshr_heads[bucket] = self.mshrs[pos].next;
+            return;
+        }
+        while cur != MSHR_NIL {
+            let next = self.mshrs[cur as usize].next;
+            if next == pos as u32 {
+                self.mshrs[cur as usize].next = self.mshrs[pos].next;
+                return;
+            }
+            cur = next;
+        }
+        unreachable!("MSHR entry must be linked in its bucket");
+    }
+
+    /// Removes and returns the MSHR entry at `pos`, keeping the index
+    /// consistent across the `swap_remove`.
+    fn mshr_remove(&mut self, pos: usize) -> MshrEntry<T> {
+        self.mshr_unlink(pos);
+        let last = self.mshrs.len() - 1;
+        if pos != last {
+            // The tail entry is about to move into `pos`: rewrite the one
+            // pointer (bucket head or chain link) that referenced `last`.
+            let moved_bucket = self.mshr_bucket(self.mshrs[last].line_addr);
+            if self.mshr_heads[moved_bucket] == last as u32 {
+                self.mshr_heads[moved_bucket] = pos as u32;
+            } else {
+                let mut cur = self.mshr_heads[moved_bucket];
+                while cur != MSHR_NIL {
+                    if self.mshrs[cur as usize].next == last as u32 {
+                        self.mshrs[cur as usize].next = pos as u32;
+                        break;
+                    }
+                    cur = self.mshrs[cur as usize].next;
+                }
+            }
+        }
+        self.mshrs.swap_remove(pos)
     }
 
     /// Bitmask of sectors within the line covered by `[addr, addr+bytes)`.
@@ -312,8 +520,8 @@ impl<T> SectoredCache<T> {
     }
 
     fn find_line(&mut self, line_addr: u64) -> Option<&mut Line> {
-        let set = self.set_index(line_addr);
-        self.sets[set]
+        let start = self.set_index(line_addr) * self.ways;
+        self.lines[start..start + self.ways]
             .iter_mut()
             .find(|l| l.valid && l.tag == line_addr)
     }
@@ -369,7 +577,8 @@ impl<T> SectoredCache<T> {
         }
 
         // Miss path. Merge into an existing MSHR if one covers the line.
-        if let Some(entry) = self.mshrs.iter_mut().find(|e| e.line_addr == line_addr) {
+        if let Some(pos) = self.mshr_lookup(line_addr) {
+            let entry = &mut self.mshrs[pos];
             let missing_new = need & !entry.pending_sectors;
             if missing_new == 0 {
                 entry.waiters.push((token, need));
@@ -418,7 +627,7 @@ impl<T> SectoredCache<T> {
             }
             self.ready.push_back((now + hit_latency, token));
             return CacheResult::Miss {
-                fetches: Vec::new(),
+                fetches: self.sector_addrs(line_addr, 0),
                 writeback,
             };
         }
@@ -427,7 +636,9 @@ impl<T> SectoredCache<T> {
             line_addr,
             pending_sectors: fetch_mask,
             waiters: vec![(token, need)],
+            next: MSHR_NIL,
         });
+        self.mshr_link(self.mshrs.len() - 1);
         if writeback.is_some() {
             self.stats.writebacks.inc();
         }
@@ -438,19 +649,19 @@ impl<T> SectoredCache<T> {
         CacheResult::Miss { fetches, writeback }
     }
 
-    fn sector_addrs(&self, line_addr: u64, mask: u32) -> Vec<u64> {
-        (0..self.config.sectors_per_line())
-            .filter(|s| mask & (1 << s) != 0)
-            .map(|s| line_addr + s as u64 * self.config.sector_bytes as u64)
-            .collect()
+    /// The fetch set for `mask`'s sectors of the line at `line_addr` —
+    /// a `Copy` descriptor, not an allocation (formerly a per-miss `Vec`).
+    fn sector_addrs(&self, line_addr: u64, mask: u32) -> SectorFetches {
+        SectorFetches::new(line_addr, mask, self.config.sector_bytes)
     }
 
     /// Allocates a line for `line_addr`, returning a dirty-victim writeback
     /// (addr, bytes) if one was evicted.
     fn allocate(&mut self, line_addr: u64, clock: u64) -> Option<(u64, u32)> {
-        let set = self.set_index(line_addr);
-        let ways = &mut self.sets[set];
-        let victim = ways
+        let start = self.set_index(line_addr) * self.ways;
+        // First minimal element in way order — identical victim choice to
+        // `min_by_key` over the old per-set `Vec`.
+        let victim = self.lines[start..start + self.ways]
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_used } else { 0 })
             .expect("ways is non-empty");
@@ -478,12 +689,12 @@ impl<T> SectoredCache<T> {
         if let Some(line) = self.find_line(line_addr) {
             line.valid_sectors |= sector_bit;
         }
-        let Some(pos) = self.mshrs.iter().position(|e| e.line_addr == line_addr) else {
+        let Some(pos) = self.mshr_lookup(line_addr) else {
             return; // line was evicted while the fill was in flight
         };
         self.mshrs[pos].pending_sectors &= !sector_bit;
         if self.mshrs[pos].pending_sectors == 0 {
-            let entry = self.mshrs.swap_remove(pos);
+            let entry = self.mshr_remove(pos);
             let lat = self.config.hit_latency;
             for (token, _need) in entry.waiters {
                 self.ready.push_back((now + lat, token));
@@ -504,14 +715,47 @@ impl<T> SectoredCache<T> {
         self.ready.front().map(|(at, _)| *at)
     }
 
+    /// Folds the cache's observable state into `fp`: every line's
+    /// `(valid, tag, sector masks, LRU stamp)` in set/way order, the
+    /// multiset of outstanding MSHR lines (physical MSHR order is a
+    /// representation detail of the hash index), and the parked-ready
+    /// schedule. Two caches fed the same access sequence fingerprint equal
+    /// regardless of how lines or MSHRs are stored internally.
+    pub fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.mix(self.lines.len() as u64);
+        for line in &self.lines {
+            if line.valid {
+                fp.mix(1);
+                fp.mix(line.tag);
+                fp.mix(u64::from(line.valid_sectors));
+                fp.mix(u64::from(line.dirty_sectors));
+                fp.mix(line.last_used);
+            } else {
+                fp.mix(0);
+            }
+        }
+        fp.mix(self.mshrs.len() as u64);
+        for entry in &self.mshrs {
+            fp.mix_unordered(
+                entry
+                    .line_addr
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u64::from(entry.pending_sectors) << 16)
+                    .wrapping_add(entry.waiters.len() as u64),
+            );
+        }
+        fp.mix(self.ready.len() as u64);
+        for &(at, _) in &self.ready {
+            fp.mix(at);
+        }
+    }
+
     /// Invalidates the whole cache (e.g. instruction caches on kernel
     /// unregistration, §III-F). Dirty data is discarded; callers flush first
     /// when that matters.
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                *line = Line::empty();
-            }
+        for line in &mut self.lines {
+            *line = Line::empty();
         }
     }
 
@@ -562,7 +806,7 @@ mod tests {
         let CacheResult::Miss { fetches, writeback } = r else {
             panic!("expected miss, got {r:?}");
         };
-        assert_eq!(fetches, vec![0x1000]);
+        assert_eq!(fetches.to_vec(), vec![0x1000]);
         assert!(writeback.is_none());
         c.fill(10, 0x1000);
         assert_eq!(c.pop_ready(10 + 4), Some(1));
@@ -581,7 +825,7 @@ mod tests {
         let CacheResult::Miss { fetches, .. } = r else {
             panic!()
         };
-        assert_eq!(fetches, vec![0x1020, 0x1040]);
+        assert_eq!(fetches.to_vec(), vec![0x1020, 0x1040]);
     }
 
     #[test]
@@ -611,7 +855,7 @@ mod tests {
         let CacheResult::Miss { fetches, .. } = r else {
             panic!("expected sector miss, got {r:?}")
         };
-        assert_eq!(fetches, vec![0x3020]);
+        assert_eq!(fetches.to_vec(), vec![0x3020]);
     }
 
     #[test]

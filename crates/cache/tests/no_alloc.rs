@@ -1,0 +1,131 @@
+//! Allocation regression tests for the cache hot paths.
+//!
+//! A counting global allocator asserts that (a) hits are allocation-free on
+//! the flat line array and (b) producing and iterating the sector-fetch set
+//! of a miss never touches the heap — the `sector_addrs` path used to
+//! return a fresh `Vec<u64>` per miss.
+
+// A global counting allocator is the only way to observe heap traffic, and
+// implementing `GlobalAlloc` is inherently unsafe; everything else in the
+// workspace stays `unsafe_code = "deny"`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use m2ndp_cache::{Access, CacheConfig, CacheResult, SectorFetches, SectoredCache};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed while running `f`.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, result)
+}
+
+fn rd(addr: u64) -> Access {
+    Access {
+        addr,
+        bytes: 32,
+        write: false,
+    }
+}
+
+#[test]
+fn hits_do_not_allocate() {
+    let mut cache: SectoredCache<u32> = SectoredCache::new(CacheConfig::ndp_l1d());
+    // Warm one line, drain the fill machinery.
+    let CacheResult::Miss { fetches, .. } = cache.access(0, rd(0x1000), 0) else {
+        panic!("cold access must miss");
+    };
+    for f in fetches {
+        cache.fill(1, f);
+    }
+    while cache.pop_ready(100).is_some() {}
+
+    let (allocs, _) = allocs_during(|| {
+        for i in 0..1000u32 {
+            let r = cache.access(100 + i as u64, rd(0x1000), i);
+            assert!(matches!(r, CacheResult::Hit { .. }));
+        }
+    });
+    assert_eq!(allocs, 0, "hit path must not allocate");
+}
+
+#[test]
+fn sector_fetches_do_not_allocate() {
+    let mut cache: SectoredCache<u32> = SectoredCache::new(CacheConfig::ndp_l1d());
+    // Full-line read: four 32 B sectors of a 128 B line must be fetched.
+    let r = cache.access(0, rd(0x2000), 0);
+    let CacheResult::Miss { fetches, .. } = r else {
+        panic!("cold access must miss");
+    };
+    assert_eq!(fetches.len(), 1);
+
+    // The fetch set is a Copy descriptor: materializing copies and walking
+    // every address costs zero heap traffic.
+    let (allocs, sum) = allocs_during(|| {
+        let mut sum = 0u64;
+        for _ in 0..1000 {
+            let again: SectorFetches = fetches; // Copy, not clone-into-Vec
+            for addr in again {
+                sum = sum.wrapping_add(addr);
+            }
+        }
+        sum
+    });
+    assert_eq!(allocs, 0, "iterating sector fetches must not allocate");
+    assert_eq!(sum, 0x2000 * 1000);
+}
+
+#[test]
+fn full_line_fetch_set_is_exact_without_heap() {
+    let cfg = CacheConfig::ndp_l1d();
+    let mut cache: SectoredCache<u32> = SectoredCache::new(cfg);
+    let r = cache.access(
+        0,
+        Access {
+            addr: 0x3000,
+            bytes: 128,
+            write: false,
+        },
+        7,
+    );
+    let CacheResult::Miss { fetches, .. } = r else {
+        panic!("cold access must miss");
+    };
+    let (allocs, collected) = allocs_during(|| {
+        let mut addrs = [0u64; 4];
+        let mut n = 0;
+        for a in fetches {
+            addrs[n] = a;
+            n += 1;
+        }
+        (addrs, n)
+    });
+    assert_eq!(allocs, 0);
+    assert_eq!(collected.1, 4);
+    assert_eq!(collected.0, [0x3000, 0x3020, 0x3040, 0x3060]);
+}

@@ -24,7 +24,7 @@ use m2ndp_cxl::{BackInvalidation, CxlLink, CxlMemPacket, PacketFilter};
 use m2ndp_mem::{DramDevice, MainMemory, MemReq, ReqId, ReqIdAllocator, ReqSource};
 use m2ndp_noc::{Crossbar, CrossbarConfig};
 use m2ndp_sim::trace::{EventKind, Lane, TraceEvent, TraceSink, Tracer};
-use m2ndp_sim::{Counter, Cycle, EventQueue};
+use m2ndp_sim::{Counter, Cycle, EventQueue, Fingerprint};
 
 use crate::config::M2ndpConfig;
 use crate::engine::{Engine, EngineEvent, RequestKind, UnitRequest, SECTOR_BYTES};
@@ -1140,6 +1140,48 @@ impl CxlM2ndpDevice {
         }
     }
 
+    /// A cheap rolling fingerprint of the device's observable simulation
+    /// state: engine occupancy and slot bookkeeping, L1D and L2 line
+    /// states, DRAM request queues, and every device-level event-queue
+    /// depth. Two devices driven by identical inputs must fingerprint
+    /// identically at every cycle — the refactor-equivalence invariant the
+    /// hot-path rewrites are held to (see `m2ndp_sim::fingerprint`).
+    /// Pair it with [`CxlM2ndpDevice::stats`] snapshots when bisecting a
+    /// divergence: statistics tell you *how much* ran, the fingerprint
+    /// tells you *whether the state is still the same*.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.mix(self.now);
+        self.engine.fingerprint(&mut fp);
+        Self::fingerprint_mem_system(&self.local, &mut fp);
+        match &self.remote {
+            Some(sys) => {
+                fp.mix(1);
+                Self::fingerprint_mem_system(sys, &mut fp);
+            }
+            None => fp.mix(0),
+        }
+        self.unit_deliveries.fingerprint(&mut fp);
+        self.host_done.fingerprint(&mut fp);
+        self.host_completions.fingerprint(&mut fp);
+        self.host_inbound.fingerprint(&mut fp);
+        fp.value()
+    }
+
+    fn fingerprint_mem_system(sys: &MemSystem, fp: &mut Fingerprint) {
+        fp.mix(sys.slices.len() as u64);
+        for slice in &sys.slices {
+            slice.cache.fingerprint(fp);
+            slice.inbox.fingerprint(fp);
+            // Retry order is the drain order, so it is observable.
+            fp.mix(slice.to_dram.len() as u64);
+            for req in &slice.to_dram {
+                fp.mix(req.id.0);
+            }
+        }
+        sys.dram.fingerprint(fp);
+    }
+
     /// Snapshot of the statistics used by figures and the energy model.
     pub fn stats(&self) -> DeviceStats {
         let l2_hits: u64 = self
@@ -1232,6 +1274,37 @@ mod tests {
         );
         // No host involvement: link stays quiet.
         assert_eq!(stats.link_m2s_bytes, 0);
+    }
+
+    #[test]
+    fn lockstep_devices_fingerprint_identically() {
+        // Two devices driven by identical inputs must agree on the state
+        // fingerprint at every cycle; the fingerprint must also actually
+        // move once work is in flight (it is not a constant).
+        let build = || {
+            let mut dev = small_device();
+            let base = 0x40_0000u64;
+            for i in 0..256u64 {
+                dev.memory_mut().write_u32(base + i * 4, i as u32);
+            }
+            let kid = dev.register_kernel(vec_double());
+            dev.launch(LaunchArgs::new(kid, base, base + 256 * 4))
+                .unwrap();
+            dev
+        };
+        let mut a = build();
+        let mut b = build();
+        let idle_fp = a.state_fingerprint();
+        assert_eq!(idle_fp, b.state_fingerprint());
+        let mut moved = false;
+        for _ in 0..2_000 {
+            a.tick();
+            b.tick();
+            let fa = a.state_fingerprint();
+            assert_eq!(fa, b.state_fingerprint(), "diverged at cycle {}", a.now());
+            moved |= fa != idle_fp;
+        }
+        assert!(moved, "fingerprint never changed while a kernel ran");
     }
 
     #[test]

@@ -31,7 +31,7 @@ use m2ndp_cache::{
 use m2ndp_mem::MainMemory;
 use m2ndp_riscv::exec::{amo_on_memory, step, Effect, MemIface, MemOp, ThreadCtx};
 use m2ndp_riscv::instr::{AmoOp, FpOp, Instr, Width};
-use m2ndp_sim::{Counter, Cycle, EventQueue};
+use m2ndp_sim::{Counter, Cycle, EventQueue, Fingerprint};
 
 use crate::config::EngineConfig;
 use crate::kernel::{KernelInstanceId, KernelSpec, LaunchArgs};
@@ -377,6 +377,13 @@ pub struct Engine {
     /// Instances whose body-iteration word must be rewritten at the next
     /// tick (multi-body synchronization, §III-G).
     pending_iter_update: Vec<usize>,
+    /// Spare buffer ping-ponged with `pending_iter_update` so draining it
+    /// never re-allocates.
+    iter_scratch: Vec<usize>,
+    /// True after a spawn pass placed nothing; cleared whenever an event
+    /// that could enable spawning happens (slot freed, phase change). Lets
+    /// `tick` prove itself a no-op without walking the instance list.
+    spawn_exhausted: bool,
     /// Free scratchpad argument-block slots (one per concurrently resident
     /// kernel instance).
     free_arg_slots: Vec<u32>,
@@ -457,6 +464,8 @@ impl Engine {
             queued: VecDeque::new(),
             next_virtual_spad: 4096, // TB spad backing starts past real units
             pending_iter_update: Vec::new(),
+            iter_scratch: Vec::new(),
+            spawn_exhausted: false,
             free_arg_slots,
             stats: EngineStats::default(),
             trace: None,
@@ -507,6 +516,46 @@ impl Engine {
     /// the Fig. 6a occupancy metric.
     pub fn active_contexts(&self) -> u32 {
         self.units.iter().map(|u| u.active_contexts).sum()
+    }
+
+    /// Folds the engine's observable occupancy state into `fp`: context
+    /// counts, queue depths, per-unit free-slot multisets, L1D line state,
+    /// and sub-core ready/wake queues. Freelist order (`free_slots`,
+    /// `free_arg_slots`) and scratch-buffer capacity are representation
+    /// details and do not contribute, so index-freelist rewrites of the
+    /// slot bookkeeping fingerprint identically.
+    pub fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.mix(u64::from(self.active_contexts()));
+        fp.mix(self.queued.len() as u64);
+        fp.mix(self.pending_iter_update.len() as u64);
+        fp.mix(self.free_arg_slots.len() as u64);
+        for slot in &self.free_arg_slots {
+            fp.mix_unordered(u64::from(*slot));
+        }
+        fp.mix(self.units.len() as u64);
+        for unit in &self.units {
+            fp.mix(u64::from(unit.active_contexts));
+            fp.mix(u64::from(unit.regfile_free));
+            fp.mix(unit.outbound.len() as u64);
+            fp.mix(unit.free_slots.len() as u64);
+            for ss in &unit.free_slots {
+                fp.mix_unordered((u64::from(ss.subcore) << 8) | u64::from(ss.slot));
+            }
+            match &unit.l1d {
+                Some(l1) => {
+                    fp.mix(1);
+                    l1.fingerprint(fp);
+                }
+                None => fp.mix(0),
+            }
+            for sc in &unit.subcores {
+                fp.mix(sc.ready.len() as u64);
+                for &slot in &sc.ready {
+                    fp.mix(u64::from(slot));
+                }
+                sc.wake.fingerprint(fp);
+            }
+        }
     }
 
     /// Number of resident + queued kernel instances.
@@ -626,14 +675,14 @@ impl Engine {
         match kind {
             RequestKind::L1Fill => {
                 let u = &mut self.units[unit];
-                let mut woken = Vec::new();
                 if let Some(l1) = u.l1d.as_mut() {
                     l1.fill(now, addr);
-                    while let Some(ss) = l1.pop_ready(now) {
-                        woken.push(ss);
-                    }
                 }
-                for ss in woken {
+                // Pop-then-complete one at a time: the cache borrow ends
+                // each iteration, so no intermediate `woken` buffer (and no
+                // per-fill allocation) is needed. Order matches the old
+                // collect-then-drain exactly.
+                while let Some(ss) = u.l1d.as_mut().and_then(|l1| l1.pop_ready(now)) {
                     Self::complete_one(u, now, ss);
                 }
             }
@@ -660,20 +709,25 @@ impl Engine {
 
     /// One engine cycle: spawn work, wake blocked slots, dispatch.
     pub fn tick(&mut self, now: Cycle, mem: &mut MainMemory) {
+        if self.tick_is_trivial(now) {
+            // Nothing can admit, wake, spawn, or issue this cycle; only the
+            // occupancy integral advances — exactly what the full walk
+            // below would have recorded.
+            self.stats
+                .occupancy_integral
+                .add(self.active_contexts() as u64);
+            return;
+        }
         self.admit(now, mem);
         if !self.pending_iter_update.is_empty() {
             self.apply_iter_updates(mem);
         }
         // Drain L1D waiters whose fills matured on an earlier cycle (the
-        // cache charges its hit latency after the fill arrives).
+        // cache charges its hit latency after the fill arrives). Pop and
+        // complete one at a time so the cache borrow ends each iteration —
+        // no intermediate buffer, same order as a collect-then-drain.
         for unit in &mut self.units {
-            let mut woken = Vec::new();
-            if let Some(l1) = unit.l1d.as_mut() {
-                while let Some(ss) = l1.pop_ready(now) {
-                    woken.push(ss);
-                }
-            }
-            for ss in woken {
+            while let Some(ss) = unit.l1d.as_mut().and_then(|l1| l1.pop_ready(now)) {
                 Self::complete_one(unit, now, ss);
             }
         }
@@ -682,6 +736,30 @@ impl Engine {
         self.stats
             .occupancy_integral
             .add(self.active_contexts() as u64);
+    }
+
+    /// Whether this cycle's tick would change nothing but the occupancy
+    /// integral: no queued launches to admit, no deferred iteration
+    /// updates, the last spawn pass placed nothing and no enabling event
+    /// (slot free, phase change) happened since, no slot is ready to
+    /// issue, and no L1 fill or wake-up matures at or before `now`.
+    ///
+    /// This is a pure within-tick cost optimization — callers' tick
+    /// cadence and every externally visible cycle count are unchanged.
+    fn tick_is_trivial(&self, now: Cycle) -> bool {
+        if !self.spawn_exhausted || !self.queued.is_empty() || !self.pending_iter_update.is_empty()
+        {
+            return false;
+        }
+        self.units.iter().all(|u| {
+            u.l1d
+                .as_ref()
+                .and_then(SectoredCache::next_ready_cycle)
+                .is_none_or(|c| c > now)
+                && u.subcores
+                    .iter()
+                    .all(|sc| sc.ready.is_empty() && sc.wake.next_cycle().is_none_or(|c| c > now))
+        })
     }
 
     /// Earliest future wake-up among blocked slots (for fast-forwarding);
@@ -776,16 +854,21 @@ impl Engine {
     }
 
     fn spawn(&mut self, now: Cycle, mem: &mut MainMemory) {
-        if self.cfg.spawn_batch_contexts > 1 {
-            self.spawn_tb_mode(now, mem);
+        let placed = if self.cfg.spawn_batch_contexts > 1 {
+            self.spawn_tb_mode(now, mem)
         } else {
-            self.spawn_fine_grained(now);
-        }
+            self.spawn_fine_grained(now)
+        };
+        // A pass that placed nothing will keep placing nothing until a slot
+        // frees or an instance changes phase; those paths reset the flag.
+        self.spawn_exhausted = placed == 0;
     }
 
     /// NDP-mode spawning: init/fini once per slot; body µthreads mapped to
     /// pool granules, interleaved across units (§III-E load balancing).
-    fn spawn_fine_grained(&mut self, now: Cycle) {
+    /// Returns the number of contexts placed.
+    fn spawn_fine_grained(&mut self, now: Cycle) -> u64 {
+        let mut placed: u64 = 0;
         let units = self.cfg.units as usize;
         let total_slots = self.cfg.total_slots();
         let tracing = self.trace.is_some();
@@ -816,6 +899,7 @@ impl Engine {
                     let mut ctx = ThreadCtx::spawned(0, uid as u64);
                     ctx.x[3] = arg_va;
                     self.place(unit_idx, ss, inst_idx, prog_phase, vec![ctx], None, 1);
+                    placed += 1;
                     self.instances[inst_idx].once_spawned += 1;
                     self.instances[inst_idx].outstanding += 1;
                     if tracing {
@@ -845,6 +929,7 @@ impl Engine {
                             let mut ctx = ThreadCtx::spawned(addr, granule * gb);
                             ctx.x[3] = self.arg_block_va(id);
                             self.place(unit_idx, ss, inst_idx, Phase::Body, vec![ctx], None, 1);
+                            placed += 1;
                             self.instances[inst_idx].unit_cursor[unit_idx] += 1;
                             self.instances[inst_idx].outstanding += 1;
                             if tracing {
@@ -869,11 +954,15 @@ impl Engine {
                 }
             }
         }
+        placed
     }
 
     /// GPU-mode spawning: whole threadblocks (spawn_batch contexts) with a
     /// contiguous granule chunk, scheduled round-robin across units.
-    fn spawn_tb_mode(&mut self, _now: Cycle, mem: &mut MainMemory) {
+    /// Returns the number of TBs placed (empty TBs released through the
+    /// completion path still count — the pass made progress).
+    fn spawn_tb_mode(&mut self, _now: Cycle, mem: &mut MainMemory) -> u64 {
+        let mut placed: u64 = 0;
         let units = self.cfg.units as usize;
         let batch = self.cfg.spawn_batch_contexts;
         let tpc = self.cfg.threads_per_context;
@@ -998,11 +1087,13 @@ impl Engine {
                     self.stats
                         .addr_calc_instrs
                         .add((self.cfg.addr_calc_overhead * batch) as u64);
+                    placed += 1;
                     continue;
                 }
 
                 self.instances[inst_idx].next_tb += 1;
                 self.instances[inst_idx].outstanding += 1;
+                placed += 1;
                 self.stats
                     .addr_calc_instrs
                     .add((self.cfg.addr_calc_overhead * batch) as u64);
@@ -1015,6 +1106,7 @@ impl Engine {
                 });
             }
         }
+        placed
     }
 
     /// Sets a TB-mode slot running its next granule span, or returns false
@@ -1614,10 +1706,15 @@ impl Engine {
         *slot = Slot::empty();
         unit.free_slots.push(ss);
         unit.active_contexts = unit.active_contexts.saturating_sub(1);
+        // A freed slot (and its registers) may let a stalled spawn proceed.
+        self.spawn_exhausted = false;
     }
 
     /// Instance phase bookkeeping when a context (or TB) finishes.
     fn on_context_done(&mut self, now: Cycle, inst_idx: usize, phase: Phase) {
+        // Phase transitions below (Init→Body, Body rerun, →Fini) can make
+        // new work spawnable even without a slot freeing first.
+        self.spawn_exhausted = false;
         let tb_mode = self.cfg.spawn_batch_contexts > 1;
         let total_slots = self.cfg.total_slots();
         let inst = &mut self.instances[inst_idx];
@@ -1721,8 +1818,13 @@ impl Engine {
 impl Engine {
     /// Applies deferred body-iteration argument updates (called from tick).
     fn apply_iter_updates(&mut self, mem: &mut MainMemory) {
-        let pending = std::mem::take(&mut self.pending_iter_update);
-        for inst_idx in pending {
+        // Ping-pong with the scratch buffer so the steady state allocates
+        // nothing: the drained list is cleared and kept for the next swap.
+        let mut pending = std::mem::replace(
+            &mut self.pending_iter_update,
+            std::mem::take(&mut self.iter_scratch),
+        );
+        for &inst_idx in &pending {
             let inst = &self.instances[inst_idx];
             let off = self.arg_block_off(inst.arg_slot);
             for u in 0..self.cfg.units {
@@ -1733,6 +1835,8 @@ impl Engine {
                 );
             }
         }
+        pending.clear();
+        self.iter_scratch = pending;
     }
 }
 

@@ -1,7 +1,7 @@
 //! Multi-channel DRAM device: routes requests by the address mapping and
 //! aggregates channel statistics.
 
-use m2ndp_sim::{Cycle, Frequency};
+use m2ndp_sim::{Cycle, Fingerprint, Frequency};
 
 use crate::config::DramConfig;
 use crate::controller::DramChannel;
@@ -13,6 +13,13 @@ use crate::req::MemReq;
 #[derive(Debug)]
 pub struct DramDevice {
     channels: Vec<DramChannel>,
+    /// Bit `c` set while channel `c` may have queued or in-flight work
+    /// (64 channels per word). A channel only leaves idle through
+    /// [`DramDevice::enqueue`], so the per-cycle walks (`tick`,
+    /// `pop_completed`, `next_event_cycle`) visit just the set bits — in
+    /// channel-index order, same as the old full scans — instead of all
+    /// channels.
+    active: Vec<u64>,
     mapping: AddressMapping,
     config: DramConfig,
     owner: Frequency,
@@ -25,8 +32,10 @@ impl DramDevice {
         let channels = (0..config.channels)
             .map(|_| DramChannel::new(&config, owner))
             .collect();
+        let words = (config.channels as usize).div_ceil(64);
         Self {
             channels,
+            active: vec![0; words],
             mapping,
             config,
             owner,
@@ -49,22 +58,42 @@ impl DramDevice {
     /// Returns the request back if that channel's queue is full.
     pub fn enqueue(&mut self, now: Cycle, req: MemReq) -> Result<(), MemReq> {
         let coord = self.mapping.decompose(req.addr);
-        self.channels[coord.channel as usize].enqueue(now, req, coord)
+        let ch = coord.channel as usize;
+        self.channels[ch].enqueue(now, req, coord)?;
+        self.active[ch / 64] |= 1 << (ch % 64);
+        Ok(())
     }
 
-    /// Advances all channels one cycle.
+    /// Advances the busy channels one cycle (ticking an idle channel is a
+    /// no-op, so skipping the clear bits is behavior-identical).
     pub fn tick(&mut self, now: Cycle) {
-        for ch in &mut self.channels {
-            ch.tick(now, 4);
+        for (w, &word) in self.active.iter().enumerate() {
+            let mut mask = word;
+            while mask != 0 {
+                let c = w * 64 + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.channels[c].tick(now, 4);
+            }
         }
     }
 
-    /// Pops one completed request from any channel (round-robin by channel
-    /// index each call).
+    /// Pops one completed request from any busy channel (by channel index
+    /// each call), retiring channels from the active mask as they drain.
     pub fn pop_completed(&mut self, now: Cycle) -> Option<MemReq> {
-        for ch in &mut self.channels {
-            if let Some(r) = ch.pop_completed(now) {
-                return Some(r);
+        for w in 0..self.active.len() {
+            let mut mask = self.active[w];
+            while mask != 0 {
+                let bit = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let c = w * 64 + bit;
+                let ch = &mut self.channels[c];
+                let popped = ch.pop_completed(now);
+                if ch.is_idle() {
+                    self.active[w] &= !(1 << bit);
+                }
+                if popped.is_some() {
+                    return popped;
+                }
             }
         }
         None
@@ -72,15 +101,34 @@ impl DramDevice {
 
     /// Whether every channel is idle.
     pub fn is_idle(&self) -> bool {
-        self.channels.iter().all(|c| c.is_idle())
+        self.active.iter().all(|&w| w == 0) || self.channels.iter().all(|c| c.is_idle())
     }
 
     /// Earliest pending event cycle across channels (for fast-forwarding).
     pub fn next_event_cycle(&self) -> Option<Cycle> {
-        self.channels
-            .iter()
-            .filter_map(|c| c.next_event_cycle())
-            .min()
+        let mut min = None;
+        for (w, &word) in self.active.iter().enumerate() {
+            let mut mask = word;
+            while mask != 0 {
+                let c = w * 64 + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if let Some(e) = self.channels[c].next_event_cycle() {
+                    min = Some(min.map_or(e, |m: Cycle| m.min(e)));
+                }
+            }
+        }
+        min
+    }
+
+    /// Folds every channel's queued-request state into `fp`, in channel
+    /// order (the channel index is part of the address mapping, so it is
+    /// observable). The `active` mask is derived bookkeeping and does not
+    /// contribute.
+    pub fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.mix(self.channels.len() as u64);
+        for ch in &self.channels {
+            ch.queue_fingerprint(fp);
+        }
     }
 
     /// Total data bytes moved across all channels.

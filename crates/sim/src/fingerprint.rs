@@ -1,0 +1,190 @@
+//! Cheap rolling state fingerprints for refactor-equivalence checks.
+//!
+//! The hot-path data structures (event queues, the sectored cache, the
+//! DRAM channel arena, the engine's slot bookkeeping) have all been
+//! rewritten for speed at least once. Their *representation* is free to
+//! change; their *observable state* is not. A [`Fingerprint`] folds the
+//! observable state into one `u64` so a test (or a debug assertion) can
+//! assert that an optimized structure and a naive reference — or the same
+//! structure before and after a refactor — are in identical states, without
+//! serializing either.
+//!
+//! Two accumulation modes cover every container shape:
+//!
+//! * [`Fingerprint::mix`] — order-sensitive FNV-1a folding, for state with
+//!   a canonical iteration order (cache lines in set/way order, queue
+//!   depths, scalar occupancy);
+//! * [`Fingerprint::mix_unordered`] — commutative folding (wrapping sum of
+//!   per-item hashes), for state whose physical order is a representation
+//!   detail (arena slots vs. an insertion-ordered `Vec`).
+//!
+//! # Example
+//!
+//! ```
+//! use m2ndp_sim::fingerprint::Fingerprint;
+//!
+//! let mut a = Fingerprint::new();
+//! a.mix(3); // e.g. queue depth
+//! a.mix_unordered(10);
+//! a.mix_unordered(20);
+//!
+//! let mut b = Fingerprint::new();
+//! b.mix(3);
+//! b.mix_unordered(20); // unordered items may arrive in any order
+//! b.mix_unordered(10);
+//! assert_eq!(a.value(), b.value());
+//! ```
+
+/// A rolling 64-bit state fingerprint (FNV-1a core plus a commutative
+/// lane). Equality of fingerprints is the equivalence check; the hash is
+/// not cryptographic and must not be used for anything adversarial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    ordered: u64,
+    unordered: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fingerprint {
+    /// A fresh fingerprint (FNV-1a offset basis, empty commutative lane).
+    pub fn new() -> Self {
+        Self {
+            ordered: FNV_OFFSET,
+            unordered: 0,
+        }
+    }
+
+    /// Folds one word in, order-sensitively (FNV-1a over its bytes).
+    pub fn mix(&mut self, word: u64) {
+        let mut h = self.ordered;
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.ordered = h;
+    }
+
+    /// Folds one item into the commutative lane: items contribute the same
+    /// digest regardless of visit order, so physically reordered but
+    /// logically identical containers fingerprint equal.
+    pub fn mix_unordered(&mut self, word: u64) {
+        // Bijective mix (splitmix64 finalizer) before the wrapping sum, so
+        // {1, 2} and {0, 3} do not collide the way raw sums would.
+        let mut x = word.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        self.unordered = self.unordered.wrapping_add(x);
+    }
+
+    /// The combined digest.
+    pub fn value(&self) -> u64 {
+        // Fold the commutative lane through the ordered hash so the two
+        // lanes cannot cancel each other.
+        let mut h = self.ordered;
+        for b in self.unordered.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// Convenience: fingerprints one `Fingerprintable` value from scratch.
+    pub fn of<S: Fingerprintable + ?Sized>(state: &S) -> u64 {
+        let mut fp = Fingerprint::new();
+        state.fingerprint(&mut fp);
+        fp.value()
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// State that can fold itself into a [`Fingerprint`].
+///
+/// Implementations must mix *observable* state only — anything two
+/// behaviorally identical representations are guaranteed to share — and
+/// must document which fields that is.
+pub trait Fingerprintable {
+    /// Folds this value's observable state into `fp`.
+    fn fingerprint(&self, fp: &mut Fingerprint);
+}
+
+impl Fingerprintable for u64 {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.mix(*self);
+    }
+}
+
+impl<T: Fingerprintable> Fingerprintable for Option<T> {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        match self {
+            Some(v) => {
+                fp.mix(1);
+                v.fingerprint(fp);
+            }
+            None => fp.mix(0),
+        }
+    }
+}
+
+impl<T: Fingerprintable> Fingerprintable for [T] {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.mix(self.len() as u64);
+        for item in self {
+            item.fingerprint(fp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_mix_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.mix(1);
+        a.mix(2);
+        let mut b = Fingerprint::new();
+        b.mix(2);
+        b.mix(1);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn unordered_mix_is_commutative_but_not_sum_degenerate() {
+        let mut a = Fingerprint::new();
+        a.mix_unordered(1);
+        a.mix_unordered(2);
+        let mut b = Fingerprint::new();
+        b.mix_unordered(2);
+        b.mix_unordered(1);
+        assert_eq!(a.value(), b.value());
+        // {1,2} must differ from {0,3} even though the raw sums match.
+        let mut c = Fingerprint::new();
+        c.mix_unordered(0);
+        c.mix_unordered(3);
+        assert_ne!(a.value(), c.value());
+    }
+
+    #[test]
+    fn option_and_slice_impls_distinguish_shape() {
+        let some_zero = Fingerprint::of(&Some(0u64));
+        let none = Fingerprint::of(&None::<u64>);
+        assert_ne!(some_zero, none);
+        let ab: &[u64] = &[1, 2];
+        let a_then_empty: &[u64] = &[1];
+        assert_ne!(Fingerprint::of(ab), Fingerprint::of(a_then_empty));
+    }
+
+    #[test]
+    fn empty_fingerprints_are_equal_and_stable() {
+        assert_eq!(Fingerprint::new().value(), Fingerprint::default().value());
+    }
+}

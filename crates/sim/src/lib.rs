@@ -16,6 +16,8 @@
 //! * [`EventQueue`] / [`FEventQueue`] — small discrete-event heaps (integer
 //!   cycles / `f64` nanoseconds) used by open-loop request-arrival
 //!   simulations (e.g. the KVStore tail-latency and serving experiments),
+//! * [`fingerprint`] — rolling state fingerprints asserting that optimized
+//!   hot-path structures stay observably identical to naive references,
 //! * [`par`] — deterministic, ordered, scoped fan-out
 //!   ([`par::map_ordered`]) shared by the figure sweep, the fleet, and the
 //!   serving runtime,
@@ -47,6 +49,7 @@
 
 pub mod bandwidth;
 pub mod event;
+pub mod fingerprint;
 pub mod json;
 pub mod par;
 pub mod pipe;
@@ -58,6 +61,7 @@ pub mod trace;
 
 pub use bandwidth::BandwidthGate;
 pub use event::{EventQueue, FEventQueue};
+pub use fingerprint::{Fingerprint, Fingerprintable};
 pub use pipe::DelayPipe;
 pub use queue::BoundedQueue;
 pub use stats::{Counter, FHistogram, Histogram, RunningStat, Snapshot, TrafficStats};
