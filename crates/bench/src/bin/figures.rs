@@ -217,11 +217,14 @@ fn list_figures(opts: &Options) {
     let _ = opts;
 }
 
-/// The `--timing` perf-trajectory artifact: per-cell and per-figure wall
-/// seconds, the nested-parallelism budget actually in effect (requested
-/// `--jobs`, effective cell-level and fleet-level worker counts), and the
-/// pool worker that ran each cell — enough to audit any speedup claim from
-/// the artifact alone. Wall clock and worker assignment are inherently
+/// The `--timing` perf-trajectory artifact (schema v3): per-cell and
+/// per-figure wall seconds, the nested-parallelism budget actually in
+/// effect (requested `--jobs`, effective cell-level and fleet-level worker
+/// counts), the pool worker that ran each cell, and — new in v3 —
+/// per-cell simulated instructions per wall second
+/// (`sim_instrs_per_sec`, from the device's retired-instruction counter)
+/// so interpreter throughput wins are distinguishable from event-loop
+/// wins. Wall clock and worker assignment are inherently
 /// non-deterministic and therefore live in their own file, never in
 /// `BENCH_RESULTS.json`.
 fn timing_json(
@@ -242,7 +245,7 @@ fn timing_json(
         }
     }
     Json::Obj(vec![
-        ("schema_version".to_string(), Json::U64(2)),
+        ("schema_version".to_string(), Json::U64(3)),
         (
             "generator".to_string(),
             Json::Str("m2ndp_bench figures --timing".to_string()),
@@ -284,13 +287,19 @@ fn timing_json(
                     .iter()
                     .zip(runs)
                     .map(|(c, run)| {
-                        (
-                            format!("{}/{}", c.fig.id(), c.key),
-                            Json::Obj(vec![
-                                ("wall_seconds".to_string(), Json::F64(run.wall_s)),
-                                ("worker".to_string(), Json::U64(run.worker as u64)),
-                            ]),
-                        )
+                        let mut fields = vec![
+                            ("wall_seconds".to_string(), Json::F64(run.wall_s)),
+                            ("worker".to_string(), Json::U64(run.worker as u64)),
+                        ];
+                        if let Some(instrs) =
+                            run.out.stats.as_ref().map(|s| s.instrs).filter(|&i| i > 0)
+                        {
+                            fields.push((
+                                "sim_instrs_per_sec".to_string(),
+                                Json::F64(instrs as f64 / run.wall_s.max(1e-9)),
+                            ));
+                        }
+                        (format!("{}/{}", c.fig.id(), c.key), Json::Obj(fields))
                     })
                     .collect(),
             ),

@@ -41,6 +41,12 @@ pub struct CellTiming {
     /// Simulated cycles per wall second (device cells), or cell
     /// completions per wall second (analytic cells with `cycles == 0`).
     pub steps_per_sec: f64,
+    /// Simulated instructions retired per wall second, for cells whose
+    /// device stats report a non-zero `instrs`. Distinguishes interpreter
+    /// wins (instrs/s up, cycles/s up proportionally) from event-loop wins
+    /// (cycles/s up while instrs/s tracks it) in the committed trajectory;
+    /// analytic cells carry `None`.
+    pub instrs_per_sec: Option<f64>,
 }
 
 /// Extracts gate-comparable timings from an executed sweep.
@@ -55,10 +61,18 @@ pub fn cell_timings(cells: &[CellSpec], runs: &[CellRun]) -> Vec<CellTiming> {
             } else {
                 1.0 / wall
             };
+            let instrs = run
+                .out
+                .stats
+                .as_ref()
+                .map(|s| s.instrs)
+                .filter(|&i| i > 0)
+                .map(|i| i as f64 / wall);
             CellTiming {
                 key: format!("{}/{}", spec.fig.id(), spec.key),
                 wall_seconds: run.wall_s,
                 steps_per_sec: steps,
+                instrs_per_sec: instrs,
             }
         })
         .collect()
@@ -85,13 +99,14 @@ pub fn entry_json(
                 cells
                     .iter()
                     .map(|c| {
-                        (
-                            c.key.clone(),
-                            Json::Obj(vec![
-                                ("wall_seconds".to_string(), Json::F64(c.wall_seconds)),
-                                ("steps_per_sec".to_string(), Json::F64(c.steps_per_sec)),
-                            ]),
-                        )
+                        let mut fields = vec![
+                            ("wall_seconds".to_string(), Json::F64(c.wall_seconds)),
+                            ("steps_per_sec".to_string(), Json::F64(c.steps_per_sec)),
+                        ];
+                        if let Some(ips) = c.instrs_per_sec {
+                            fields.push(("instrs_per_sec".to_string(), Json::F64(ips)));
+                        }
+                        (c.key.clone(), Json::Obj(fields))
                     })
                     .collect(),
             ),
@@ -223,6 +238,7 @@ mod tests {
             key: key.to_string(),
             wall_seconds: wall,
             steps_per_sec: steps,
+            instrs_per_sec: None,
         }
     }
 
@@ -304,5 +320,43 @@ mod tests {
         let entry = entry_json("r", false, 1, 1, 2.0, &cells);
         let c = entry.get("cells").unwrap().get("f/a").unwrap();
         assert_eq!(c.get("steps_per_sec").and_then(Json::as_f64), Some(500.0));
+    }
+
+    #[test]
+    fn instrs_per_sec_is_recorded_when_present_and_omitted_when_not() {
+        let with = CellTiming {
+            instrs_per_sec: Some(1e7),
+            ..timing("f/dev", 2.0, 500.0)
+        };
+        let without = timing("f/analytic", 0.01, 100.0);
+        let entry = entry_json("r", false, 1, 1, 2.0, &[with, without]);
+        let cells = entry.get("cells").unwrap();
+        assert_eq!(
+            cells
+                .get("f/dev")
+                .unwrap()
+                .get("instrs_per_sec")
+                .and_then(Json::as_f64),
+            Some(1e7)
+        );
+        assert!(cells
+            .get("f/analytic")
+            .unwrap()
+            .get("instrs_per_sec")
+            .is_none());
+    }
+
+    #[test]
+    fn gate_tolerates_baselines_without_instrs_per_sec() {
+        // Histories written before the v3 artifact lack the key; the gate
+        // compares steps_per_sec only and must not care.
+        let hist = history_with(&[timing("fig10a/a", 1.0, 1e6)]);
+        let current = vec![CellTiming {
+            instrs_per_sec: Some(5e6),
+            ..timing("fig10a/a", 1.0, 1e6)
+        }];
+        let report = gate(&hist, &current).unwrap();
+        assert_eq!(report.compared, 1);
+        assert!(report.regressions.is_empty());
     }
 }

@@ -29,8 +29,9 @@ use m2ndp_cache::{
     Access, CacheResult, Scratchpad, SectoredCache,
 };
 use m2ndp_mem::MainMemory;
-use m2ndp_riscv::exec::{amo_on_memory, step, Effect, MemIface, MemOp, ThreadCtx};
-use m2ndp_riscv::instr::{AmoOp, FpOp, Instr, Width};
+use m2ndp_riscv::exec::{amo_on_memory, step_group, EffectBuf, EffectClass, MemIface, ThreadCtx};
+use m2ndp_riscv::instr::{AmoOp, Width};
+use m2ndp_riscv::program::FuClass;
 use m2ndp_sim::{Counter, Cycle, EventQueue, Fingerprint};
 
 use crate::config::EngineConfig;
@@ -142,6 +143,34 @@ impl Slot {
             live_ctxs: 0,
         }
     }
+
+    /// Returns the slot to the free state in place, retaining the `ctxs`
+    /// and `spans` heap buffers so the next wave refills its ~`32×VLEN`
+    /// register files instead of reallocating them.
+    fn reset(&mut self) {
+        self.state = SlotState::Free;
+        self.ctxs.clear();
+        self.instance = usize::MAX;
+        self.phase = Phase::Body;
+        self.tb = None;
+        self.pending = 0;
+        self.reg_bytes = 0;
+        self.spans.clear();
+        self.live_ctxs = 0;
+    }
+
+    /// Refills `ctxs` with exactly `n` freshly-reset contexts, reusing the
+    /// retained storage (capacity only ever grows to the context width of
+    /// the widest wave this slot has hosted).
+    fn refill_ctxs(&mut self, n: usize) {
+        self.ctxs.truncate(n);
+        for ctx in &mut self.ctxs {
+            ctx.reset();
+        }
+        while self.ctxs.len() < n {
+            self.ctxs.push(ThreadCtx::new());
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -164,45 +193,18 @@ enum FuKind {
     VLsu,
 }
 
-/// Statically classifies which FU an instruction needs.
-fn fu_of(instr: &Instr, has_scalar: bool) -> FuKind {
-    let scalar = |k: FuKind| {
-        if has_scalar {
-            k
-        } else {
-            match k {
-                FuKind::SAlu => FuKind::VAlu,
-                FuKind::SSfu => FuKind::VSfu,
-                FuKind::SLsu => FuKind::VLsu,
-                other => other,
-            }
-        }
-    };
-    match instr {
-        Instr::Load { .. }
-        | Instr::Store { .. }
-        | Instr::Amo { .. }
-        | Instr::FLoad { .. }
-        | Instr::FStore { .. } => scalar(FuKind::SLsu),
-        Instr::VLoad { .. } | Instr::VStore { .. } | Instr::VAmo { .. } => FuKind::VLsu,
-        Instr::Op {
-            op:
-                m2ndp_riscv::instr::IntOp::Div
-                | m2ndp_riscv::instr::IntOp::Divu
-                | m2ndp_riscv::instr::IntOp::Rem
-                | m2ndp_riscv::instr::IntOp::Remu,
-            ..
-        } => scalar(FuKind::SSfu),
-        Instr::FOp {
-            op: FpOp::Div | FpOp::Sqrt | FpOp::Exp,
-            ..
-        } => scalar(FuKind::SSfu),
-        Instr::VFpOp {
-            op: m2ndp_riscv::instr::VFpOp::Div | m2ndp_riscv::instr::VFpOp::Exp,
-            ..
-        } => FuKind::VSfu,
-        i if i.is_vector() => FuKind::VAlu,
-        _ => scalar(FuKind::SAlu),
+/// Maps a pre-decoded ISA-level FU class (from the program's side
+/// table, built once at assembly) onto this configuration's units: scalar
+/// classes fold onto the vector units when the configuration has no scalar
+/// units (GPU mode, §III-D A1).
+fn fu_kind(class: FuClass, has_scalar: bool) -> FuKind {
+    match class {
+        FuClass::SAlu if has_scalar => FuKind::SAlu,
+        FuClass::SSfu if has_scalar => FuKind::SSfu,
+        FuClass::SLsu if has_scalar => FuKind::SLsu,
+        FuClass::SAlu | FuClass::VAlu => FuKind::VAlu,
+        FuClass::SSfu | FuClass::VSfu => FuKind::VSfu,
+        FuClass::SLsu | FuClass::VLsu => FuKind::VLsu,
     }
 }
 
@@ -392,6 +394,29 @@ pub struct Engine {
     /// Trace buffer; `None` when tracing is off (the default), so every
     /// emit site is one discriminant check.
     trace: Option<Vec<EngineEvent>>,
+    /// Persistent issue-path scratch (group memory operations plus the
+    /// coalescing buffers of `handle_memops`), reused across issues so a
+    /// steady-state tick performs no heap allocation. Pure representation
+    /// state: capacity never contributes to [`Engine::fingerprint`].
+    scratch: IssueScratch,
+}
+
+/// Reusable buffers for one group issue: the [`EffectBuf`] the executor
+/// fills plus the partition/coalescing vectors `handle_memops` builds from
+/// it. Owned by the [`Engine`] and cleared per use, never reallocated in
+/// steady state.
+#[derive(Debug, Default)]
+struct IssueScratch {
+    /// Memory operations of the current group issue, in lane order.
+    effects: EffectBuf,
+    /// Coalesced global-read sector addresses.
+    reads: Vec<u64>,
+    /// Global write (addr, bytes) pieces, split at sector boundaries.
+    writes: Vec<(u64, u32)>,
+    /// Global atomic (addr, bytes) operations.
+    amos: Vec<(u64, u32)>,
+    /// Distinct page numbers touched (TLB lookups).
+    pages: Vec<u64>,
 }
 
 /// Memory interface used during functional execution: rewrites the
@@ -469,6 +494,7 @@ impl Engine {
             free_arg_slots,
             stats: EngineStats::default(),
             trace: None,
+            scratch: IssueScratch::default(),
         }
     }
 
@@ -896,9 +922,9 @@ impl Engine {
                         Phase::Fini
                     };
                     let arg_va = self.arg_block_va(id);
-                    let mut ctx = ThreadCtx::spawned(0, uid as u64);
-                    ctx.x[3] = arg_va;
-                    self.place(unit_idx, ss, inst_idx, prog_phase, vec![ctx], None, 1);
+                    self.place(
+                        unit_idx, ss, inst_idx, prog_phase, 0, uid as u64, arg_va, None,
+                    );
                     placed += 1;
                     self.instances[inst_idx].once_spawned += 1;
                     self.instances[inst_idx].outstanding += 1;
@@ -926,9 +952,17 @@ impl Engine {
                             let inst = &self.instances[inst_idx];
                             let gb = self.cfg.granule_bytes as u64;
                             let addr = inst.launch.pool_base + granule * gb;
-                            let mut ctx = ThreadCtx::spawned(addr, granule * gb);
-                            ctx.x[3] = self.arg_block_va(id);
-                            self.place(unit_idx, ss, inst_idx, Phase::Body, vec![ctx], None, 1);
+                            let arg_va = self.arg_block_va(id);
+                            self.place(
+                                unit_idx,
+                                ss,
+                                inst_idx,
+                                Phase::Body,
+                                addr,
+                                granule * gb,
+                                arg_va,
+                                None,
+                            );
                             placed += 1;
                             self.instances[inst_idx].unit_cursor[unit_idx] += 1;
                             self.instances[inst_idx].outstanding += 1;
@@ -1028,16 +1062,15 @@ impl Engine {
                     let _ = gb;
                     if self.units[unit_idx].tbs[tb_idx].state == TbState::Init {
                         if j == 0 {
-                            let mut ctx = ThreadCtx::spawned(0, 0);
-                            ctx.x[3] = arg_va;
                             self.place(
                                 unit_idx,
                                 *ss,
                                 inst_idx,
                                 Phase::Init,
-                                vec![ctx],
+                                0,
+                                0,
+                                arg_va,
                                 Some(tb_idx),
-                                1,
                             );
                             self.units[unit_idx].subcores[ss.subcore as usize].slots
                                 [ss.slot as usize]
@@ -1133,20 +1166,19 @@ impl Engine {
         let Some(span_start) = slot.spans.pop_front() else {
             return false;
         };
-        let mut ctxs = Vec::with_capacity(tpc as usize);
+        slot.refill_ctxs(tpc as usize);
         let mut live = 0;
-        for i in 0..tpc {
-            let g = span_start + i;
-            let mut ctx = ThreadCtx::spawned(pool_base + g * gb, g * gb);
+        for (i, ctx) in slot.ctxs.iter_mut().enumerate() {
+            let g = span_start + i as u64;
+            ctx.x[1] = pool_base + g * gb;
+            ctx.x[2] = g * gb;
             ctx.x[3] = arg_va;
             if g >= granules {
                 ctx.done = true; // tail lane masked off
             } else {
                 live += 1;
             }
-            ctxs.push(ctx);
         }
-        slot.ctxs = ctxs;
         slot.phase = Phase::Body;
         slot.instance = inst_idx;
         slot.tb = Some(tb_idx);
@@ -1168,7 +1200,9 @@ impl Engine {
     }
 
     // Takes the full placement tuple; bundling it into a struct would only
-    // move the argument list one call deeper.
+    // move the argument list one call deeper. Places a single-µthread
+    // context seeded per the spawn ABI (`x1` = mapped address, `x2` =
+    // offset, `x3` = arg-block VA), reusing the slot's ctx storage.
     #[allow(clippy::too_many_arguments)]
     fn place(
         &mut self,
@@ -1176,9 +1210,10 @@ impl Engine {
         ss: SubSlot,
         inst_idx: usize,
         phase: Phase,
-        ctxs: Vec<ThreadCtx>,
+        addr: u64,
+        offset: u64,
+        arg_va: u64,
         tb: Option<usize>,
-        live: u32,
     ) {
         let reg_bytes = self.instances[inst_idx].ctx_reg_bytes;
         let unit = &mut self.units[unit_idx];
@@ -1186,13 +1221,16 @@ impl Engine {
         let slot = &mut sc.slots[ss.slot as usize];
         debug_assert_eq!(slot.state, SlotState::Free);
         slot.state = SlotState::Ready;
-        slot.ctxs = ctxs;
+        slot.refill_ctxs(1);
+        slot.ctxs[0].x[1] = addr;
+        slot.ctxs[0].x[2] = offset;
+        slot.ctxs[0].x[3] = arg_va;
         slot.instance = inst_idx;
         slot.phase = phase;
         slot.tb = tb;
         slot.pending = 0;
         slot.reg_bytes = reg_bytes;
-        slot.live_ctxs = live;
+        slot.live_ctxs = 1;
         sc.ready.push_back(ss.slot);
         unit.active_contexts += 1;
         if self.cfg.addr_calc_overhead > 0 {
@@ -1242,32 +1280,51 @@ impl Engine {
             let Some(slot_idx) = self.units[unit_idx].subcores[sc_idx].ready.pop_front() else {
                 break;
             };
-            // Determine the SIMT group and the FU needed.
-            let (min_pc, spec, slot_phase) = {
+            // Determine the SIMT group and the FU needed — one borrow, no
+            // per-scanned-slot `Arc` clone of the spec: the FU comes from
+            // the program's pre-decoded class table instead of re-matching
+            // the fetched instruction.
+            enum Scan {
+                /// All sub-threads done (possible for fully-masked tails).
+                AllDone,
+                /// Program ran off the end: treat as halt for robustness.
+                OffEnd,
+                /// Issue the group at this pc on this FU class.
+                Issue(usize, FuClass),
+            }
+            let scan = {
                 let slot = &self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize];
-                let inst = &self.instances[slot.instance];
-                let min_pc = slot.ctxs.iter().filter(|c| !c.done).map(|c| c.pc).min();
-                (min_pc, inst.spec.clone(), slot.phase)
-            };
-            let prog = match slot_phase {
-                Phase::Init => spec.init.as_ref().expect("init phase has program"),
-                Phase::Body => &spec.body,
-                Phase::Fini => spec.fini.as_ref().expect("fini phase has program"),
-            };
-            let Some(min_pc) = min_pc else {
-                // All sub-threads done (possible for fully-masked tail spans).
-                self.retire_slot(now, unit_idx, sc_idx, slot_idx);
-                continue;
-            };
-            let Some(next_instr) = prog.fetch(min_pc) else {
-                // Program ran off the end: treat as halt for robustness.
-                for c in &mut self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize].ctxs {
-                    c.done = true;
+                let spec = &self.instances[slot.instance].spec;
+                let prog = match slot.phase {
+                    Phase::Init => spec.init.as_ref().expect("init phase has program"),
+                    Phase::Body => &spec.body,
+                    Phase::Fini => spec.fini.as_ref().expect("fini phase has program"),
+                };
+                match slot.ctxs.iter().filter(|c| !c.done).map(|c| c.pc).min() {
+                    None => Scan::AllDone,
+                    Some(pc) => match prog.class_at(pc) {
+                        Some(class) => Scan::Issue(pc, class.fu),
+                        None => Scan::OffEnd,
+                    },
                 }
-                self.retire_slot(now, unit_idx, sc_idx, slot_idx);
-                continue;
             };
-            let fu = fu_of(next_instr, self.cfg.has_scalar_units);
+            let (min_pc, fu_class) = match scan {
+                Scan::AllDone => {
+                    self.retire_slot(now, unit_idx, sc_idx, slot_idx);
+                    continue;
+                }
+                Scan::OffEnd => {
+                    for c in
+                        &mut self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize].ctxs
+                    {
+                        c.done = true;
+                    }
+                    self.retire_slot(now, unit_idx, sc_idx, slot_idx);
+                    continue;
+                }
+                Scan::Issue(pc, fu) => (pc, fu),
+            };
+            let fu = fu_kind(fu_class, self.cfg.has_scalar_units);
             let counter = match fu {
                 FuKind::SAlu => &mut avail.salu,
                 FuKind::SSfu => &mut avail.ssfu,
@@ -1289,8 +1346,10 @@ impl Engine {
         }
     }
 
-    /// Executes one SIMT group issue: all non-done sub-threads at `min_pc`.
-    #[allow(clippy::too_many_lines)]
+    /// Executes one SIMT group issue: all non-done sub-threads at `min_pc`
+    /// run the instruction there via [`step_group`] (decode once, tight
+    /// lane loop), with memory operations collected in the engine-owned
+    /// [`IssueScratch`] — no allocation on this path in steady state.
     fn execute_group(
         &mut self,
         now: Cycle,
@@ -1300,14 +1359,16 @@ impl Engine {
         slot_idx: u8,
         min_pc: usize,
     ) {
-        let (inst_idx, phase, tb, spad_unit) = {
+        let (inst_idx, phase, spad_unit) = {
             let slot = &self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize];
             let spad_unit = match slot.tb {
                 Some(tb_idx) => self.units[unit_idx].tbs[tb_idx].spad_unit,
                 None => unit_idx as u32,
             };
-            (slot.instance, slot.phase, slot.tb, spad_unit)
+            (slot.instance, slot.phase, spad_unit)
         };
+        // One Arc clone per *issue* (not per scanned slot) keeps the spec
+        // alive across the disjoint unit/instance borrows below.
         let spec = self.instances[inst_idx].spec.clone();
         let prog = match phase {
             Phase::Init => spec.init.as_ref().expect("init"),
@@ -1315,45 +1376,32 @@ impl Engine {
             Phase::Fini => spec.fini.as_ref().expect("fini"),
         };
 
-        let mut group_effect: Option<Effect> = None;
-        let mut memops: Vec<MemOp> = Vec::new();
-        let mut lanes = 0u32;
-        {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let group = {
             let slot = &mut self.units[unit_idx].subcores[sc_idx].slots[slot_idx as usize];
             let mut iface = EngineMemIface { mem, spad_unit };
-            for ctx in slot.ctxs.iter_mut() {
-                if ctx.done || ctx.pc != min_pc {
-                    continue;
-                }
-                lanes += 1;
-                match step(ctx, prog, &mut iface) {
-                    Ok(effect) => {
-                        match &effect {
-                            Effect::Mem(op) => memops.push(*op),
-                            Effect::VMem(ops) => memops.extend_from_slice(ops),
-                            _ => {}
-                        }
-                        if group_effect.is_none() {
-                            group_effect = Some(effect);
-                        }
-                    }
-                    Err(_) => {
-                        ctx.done = true;
-                    }
-                }
-            }
-        }
+            step_group(
+                &mut slot.ctxs,
+                min_pc,
+                prog,
+                &mut iface,
+                &mut scratch.effects,
+            )
+        };
+        let lanes = group.lanes;
         self.stats.issues.inc();
         self.stats.instrs.add(lanes as u64);
         self.stats.lanes_active.add(lanes as u64);
         self.stats
             .lanes_possible
             .add(self.cfg.threads_per_context as u64);
-        let effect = group_effect.unwrap_or(Effect::Halted);
-        match &effect {
-            Effect::VAlu | Effect::VFpu | Effect::VSfu | Effect::VMem(_) | Effect::VCtl => {
-                self.stats.vector_instrs.add(lanes as u64)
-            }
+        let class = group.effect.unwrap_or(EffectClass::Halted);
+        match class {
+            EffectClass::VAlu
+            | EffectClass::VFpu
+            | EffectClass::VSfu
+            | EffectClass::VMem
+            | EffectClass::VCtl => self.stats.vector_instrs.add(lanes as u64),
             _ => self.stats.scalar_instrs.add(lanes as u64),
         }
 
@@ -1363,32 +1411,47 @@ impl Engine {
             .iter()
             .all(|c| c.done);
         if all_done {
+            self.scratch = scratch;
             self.retire_slot(now, unit_idx, sc_idx, slot_idx);
             return;
         }
 
         let lat = self.cfg.lat;
         let block_for = |l: Cycle| l.max(1);
-        match effect {
-            Effect::Mem(_) | Effect::VMem(_) => {
-                self.handle_memops(now, unit_idx, sc_idx, slot_idx, &memops);
+        match class {
+            EffectClass::Mem | EffectClass::VMem => {
+                self.handle_memops(now, unit_idx, sc_idx, slot_idx, &mut scratch);
             }
-            Effect::Alu | Effect::Branch | Effect::VCtl => {
+            EffectClass::Alu | EffectClass::Branch | EffectClass::VCtl => {
                 self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.alu));
             }
-            Effect::Mul => self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.mul)),
-            Effect::Div => self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.div)),
-            Effect::FpAlu => self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.fp)),
-            Effect::Sfu => self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.sfu)),
-            Effect::VAlu => self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.valu)),
-            Effect::VFpu => self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.vfpu)),
-            Effect::VSfu => self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.vsfu)),
-            Effect::Halted => {
+            EffectClass::Mul => {
+                self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.mul))
+            }
+            EffectClass::Div => {
+                self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.div))
+            }
+            EffectClass::FpAlu => {
+                self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.fp))
+            }
+            EffectClass::Sfu => {
+                self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.sfu))
+            }
+            EffectClass::VAlu => {
+                self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.valu))
+            }
+            EffectClass::VFpu => {
+                self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.vfpu))
+            }
+            EffectClass::VSfu => {
+                self.block_slot(now, unit_idx, sc_idx, slot_idx, block_for(lat.vsfu))
+            }
+            EffectClass::Halted => {
                 // Group halted but other sub-threads continue (divergence).
                 self.block_slot(now, unit_idx, sc_idx, slot_idx, 1);
             }
         }
-        let _ = tb;
+        self.scratch = scratch;
     }
 
     fn block_slot(&mut self, now: Cycle, unit_idx: usize, sc_idx: usize, slot_idx: u8, dur: Cycle) {
@@ -1413,7 +1476,7 @@ impl Engine {
         unit_idx: usize,
         sc_idx: usize,
         slot_idx: u8,
-        memops: &[MemOp],
+        scratch: &mut IssueScratch,
     ) {
         let ss = SubSlot {
             subcore: sc_idx as u8,
@@ -1423,11 +1486,20 @@ impl Engine {
         let mut max_local_ready = now + 1;
         let mut pending = 0u32;
 
-        // Partition: scratchpad vs global.
-        let mut global_reads: Vec<u64> = Vec::new(); // sector addrs
-        let mut global_writes: Vec<(u64, u32)> = Vec::new();
-        let mut global_amos: Vec<(u64, u32)> = Vec::new();
-        for op in memops {
+        // Partition: scratchpad vs global. The partition buffers live in
+        // the engine-owned scratch so steady-state issues don't allocate.
+        let IssueScratch {
+            effects,
+            reads: global_reads,
+            writes: global_writes,
+            amos: global_amos,
+            pages,
+        } = scratch;
+        global_reads.clear();
+        global_writes.clear();
+        global_amos.clear();
+        pages.clear();
+        for op in effects.memops() {
             if (SPAD_APERTURE_BASE..SPAD_APERTURE_BASE + SPAD_APERTURE_STRIDE).contains(&op.addr) {
                 let unit = &mut self.units[unit_idx];
                 let ready = unit.spad.access(now, op.bytes, op.write, op.amo);
@@ -1462,16 +1534,17 @@ impl Engine {
         global_reads.dedup();
 
         // TLB: one lookup per distinct page touched.
-        let mut pages: Vec<u64> = global_reads
-            .iter()
-            .copied()
-            .chain(global_writes.iter().map(|(a, _)| *a))
-            .chain(global_amos.iter().map(|(a, _)| *a))
-            .map(|a| a >> self.units[unit_idx].dtlb.page_shift())
-            .collect();
+        pages.extend(
+            global_reads
+                .iter()
+                .copied()
+                .chain(global_writes.iter().map(|(a, _)| *a))
+                .chain(global_amos.iter().map(|(a, _)| *a))
+                .map(|a| a >> self.units[unit_idx].dtlb.page_shift()),
+        );
         pages.sort_unstable();
         pages.dedup();
-        for page in pages {
+        for &page in pages.iter() {
             let unit = &mut self.units[unit_idx];
             if !unit.dtlb.access(page << unit.dtlb.page_shift()) {
                 // DRAM-TLB fill: one 16 B read the slot must wait for.
@@ -1489,7 +1562,7 @@ impl Engine {
         }
 
         // Reads through the L1D.
-        for sector in global_reads {
+        for &sector in global_reads.iter() {
             let unit = &mut self.units[unit_idx];
             match unit.l1d.as_mut() {
                 Some(l1) => {
@@ -1555,7 +1628,7 @@ impl Engine {
         }
 
         // Writes: write-through, posted (§III-F).
-        for (addr, bytes) in global_writes {
+        for &(addr, bytes) in global_writes.iter() {
             let unit = &mut self.units[unit_idx];
             if let Some(l1) = unit.l1d.as_mut() {
                 let _ = l1.access(
@@ -1578,7 +1651,7 @@ impl Engine {
         }
 
         // Atomics execute at the memory-side L2; the slot waits for the ack.
-        for (addr, bytes) in global_amos {
+        for &(addr, bytes) in global_amos.iter() {
             let unit = &mut self.units[unit_idx];
             unit.outbound.push_back(UnitRequest {
                 addr,
@@ -1670,9 +1743,8 @@ impl Engine {
                     let arg_va = self.arg_block_va(id);
                     let sc = &mut self.units[unit_idx].subcores[ss.subcore as usize];
                     let slot = &mut sc.slots[ss.slot as usize];
-                    let mut ctx = ThreadCtx::spawned(0, 0);
-                    ctx.x[3] = arg_va;
-                    slot.ctxs = vec![ctx];
+                    slot.refill_ctxs(1);
+                    slot.ctxs[0].x[3] = arg_va;
                     slot.phase = Phase::Fini;
                     slot.state = SlotState::Ready;
                     slot.live_ctxs = 1;
@@ -1703,7 +1775,7 @@ impl Engine {
         let unit = &mut self.units[unit_idx];
         let slot = &mut unit.subcores[ss.subcore as usize].slots[ss.slot as usize];
         unit.regfile_free += slot.reg_bytes;
-        *slot = Slot::empty();
+        slot.reset(); // retains ctx/span heap buffers for the next wave
         unit.free_slots.push(ss);
         unit.active_contexts = unit.active_contexts.saturating_sub(1);
         // A freed slot (and its registers) may let a stalled spawn proceed.

@@ -22,6 +22,13 @@ pub struct KernelId(pub u32);
 pub struct KernelInstanceId(pub u32);
 
 /// A complete kernel specification.
+///
+/// Each contained [`Program`] carries the pre-decoded per-instruction
+/// class table ([`Program::classes`]) built at assemble time, so the
+/// engine's dispatch scan and latency selection are array lookups — the
+/// table is derived from the instruction stream, never stored or edited
+/// independently, and registering a spec caches it for the kernel's
+/// lifetime.
 #[derive(Debug, Clone)]
 pub struct KernelSpec {
     /// Human-readable name (reporting only).
@@ -253,6 +260,18 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_iterations_rejected() {
         let _ = LaunchArgs::new(KernelId(0), 0, 1).with_iterations(0);
+    }
+
+    #[test]
+    fn spec_programs_carry_class_table() {
+        let init = assemble("li x9, 0\nhalt").unwrap();
+        let spec = KernelSpec::from_programs("k", Some(init), body(), None, 0);
+        // The pre-decoded table is derived per instruction at assemble
+        // time: one entry per pc, for every phase program.
+        assert_eq!(spec.body.classes().len(), spec.body.len());
+        let init = spec.init.as_ref().unwrap();
+        assert_eq!(init.classes().len(), init.len());
+        assert!(spec.body.class_at(spec.body.len()).is_none());
     }
 
     #[test]

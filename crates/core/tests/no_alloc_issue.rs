@@ -1,0 +1,156 @@
+//! Allocation regression test for the engine's issue path.
+//!
+//! A counting global allocator (same shape as `crates/cache/tests/no_alloc.rs`)
+//! pins the group-decoded interpreter's contract: once a kernel is running
+//! and every scratch buffer has reached its high-water capacity,
+//! `Engine::tick` — spawning µthreads into reused slot storage, issuing
+//! SIMT groups through `step_group` into the engine-owned `EffectBuf`,
+//! and retiring contexts — performs **zero** heap allocations.
+
+// A global counting allocator is the only way to observe heap traffic, and
+// implementing `GlobalAlloc` is inherently unsafe; everything else in the
+// workspace stays `unsafe_code = "deny"`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use m2ndp_core::engine::{Engine, RequestKind};
+use m2ndp_core::{EngineConfig, KernelId, KernelInstanceId, KernelSpec, LaunchArgs};
+use m2ndp_mem::MainMemory;
+use m2ndp_riscv::assemble;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed while running `f`.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, result)
+}
+
+fn small_cfg() -> EngineConfig {
+    EngineConfig {
+        units: 2,
+        ..EngineConfig::m2ndp()
+    }
+}
+
+/// One engine cycle plus immediate completion of any outbound requests
+/// (idealized zero-latency memory, all inside the engine's own paths).
+fn tick_and_drain(engine: &mut Engine, mem: &mut MainMemory, now: u64) {
+    engine.tick(now, mem);
+    for u in 0..engine.config().units as usize {
+        while let Some(req) = engine.pop_outbound(u) {
+            if !matches!(req.kind, RequestKind::Posted) {
+                engine.deliver(now, u, req.kind, req.addr);
+            }
+        }
+    }
+}
+
+#[test]
+fn steady_state_alu_issue_does_not_allocate() {
+    // Compute-bound kernel: a pure ALU/branch loop per µthread, over far
+    // more granules than slots so spawn → issue → retire → respawn churns
+    // throughout the measured window.
+    let body = assemble(
+        "li x4, 64
+         loop: addi x4, x4, -1
+         bnez x4, loop
+         halt",
+    )
+    .unwrap();
+    let spec = Arc::new(KernelSpec::body_only("alu_loop", body));
+    let mut engine = Engine::new(small_cfg());
+    let mut mem = MainMemory::new();
+    let base = 0x10_0000u64;
+    let granules = 4096u64;
+    let launch = LaunchArgs::new(KernelId(0), base, base + granules * 32);
+    assert!(engine.launch(0, KernelInstanceId(0), spec, launch));
+
+    // Warm-up: admit the instance, fill every slot, let the ready queues
+    // and scratch buffers reach their high-water capacity.
+    let mut now = 0u64;
+    for _ in 0..500 {
+        tick_and_drain(&mut engine, &mut mem, now);
+        now += 1;
+    }
+    assert!(!engine.is_idle(), "warm-up must not exhaust the pool");
+
+    let (allocs, _) = allocs_during(|| {
+        for _ in 0..2000 {
+            tick_and_drain(&mut engine, &mut mem, now);
+            now += 1;
+        }
+    });
+    assert!(!engine.is_idle(), "measurement must cover steady state");
+    assert_eq!(allocs, 0, "steady-state ALU issue path must not allocate");
+}
+
+#[test]
+fn steady_state_vector_memory_issue_does_not_allocate() {
+    // Memory-bound kernel: vector load + store per granule, re-run over the
+    // same (pre-touched) pool for many iterations so DRAM pages, TLB
+    // entries, and cache lines exist before the measured window.
+    let body = assemble(
+        "vsetvli x0, x0, e32, m1
+         vle32.v v1, (x1)
+         vadd.vv v1, v1, v1
+         vse32.v v1, (x1)
+         halt",
+    )
+    .unwrap();
+    let spec = Arc::new(KernelSpec::body_only("vec_double", body));
+    let mut engine = Engine::new(small_cfg());
+    let mut mem = MainMemory::new();
+    let base = 0x10_0000u64;
+    let granules = 256u64;
+    for i in 0..granules * 8 {
+        mem.write_u32(base + i * 4, i as u32);
+    }
+    let launch =
+        LaunchArgs::new(KernelId(0), base, base + granules * 32).with_iterations(1_000_000);
+    assert!(engine.launch(0, KernelInstanceId(0), spec, launch));
+
+    let mut now = 0u64;
+    for _ in 0..20_000 {
+        tick_and_drain(&mut engine, &mut mem, now);
+        now += 1;
+    }
+    assert!(!engine.is_idle(), "warm-up must not finish the kernel");
+
+    let (allocs, _) = allocs_during(|| {
+        for _ in 0..10_000 {
+            tick_and_drain(&mut engine, &mut mem, now);
+            now += 1;
+        }
+    });
+    assert!(!engine.is_idle(), "measurement must cover steady state");
+    assert_eq!(
+        allocs, 0,
+        "steady-state vector load/store issue path must not allocate"
+    );
+}

@@ -1,0 +1,158 @@
+//! Group-dispatch vs per-lane interpreter microbenchmarks.
+//!
+//! Three kernels bracket the interpreter's regimes — a converged scalar
+//! ALU loop (pure decode overhead), a strided vector load loop (memory
+//! effect reporting), and a lane-divergent branch loop (partial groups) —
+//! each dispatched two ways over an 8-lane SIMT group:
+//!
+//! * `per_lane`: the engine's pre-group loop — scan for the minimum pc,
+//!   then call [`step`] for every lane parked there, re-matching the
+//!   instruction per lane and collecting `Effect` values;
+//! * `group`: [`step_group`] — decode once, tight lane loop, memory
+//!   operations written into a reused [`EffectBuf`].
+//!
+//! The pairs print side by side so the `perf-gate` CI log shows the
+//! group-dispatch win directly (`M2NDP_BENCH_MS` shortens the window).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use m2ndp_mem::MainMemory;
+use m2ndp_riscv::exec::{step, step_group, Effect, EffectBuf, MainMemoryIface, MemOp, ThreadCtx};
+use m2ndp_riscv::{assemble, Program};
+
+const LANES: usize = 8;
+
+/// Converged scalar loop: every issue is a full-width ALU or branch group.
+const ALU_LOOP: &str = "
+    li x4, 1000
+    loop: addi x4, x4, -1
+    bnez x4, loop
+    halt";
+
+/// Strided vector loads: every iteration reports `vl` memory operations
+/// per lane through the effect channel.
+const STRIDED_VECTOR_LOAD: &str = "
+    vsetvli x0, x0, e32, m1
+    li x5, 64
+    li x4, 100
+    loop: vlse32.v v1, (x1), x5
+    add x1, x1, x5
+    addi x4, x4, -1
+    bnez x4, loop
+    halt";
+
+/// Lane-divergent branches: `x2` differs per lane, so the group splits and
+/// re-converges, exercising partial-group issues.
+const DIVERGENT_BRANCH: &str = "
+    li x4, 200
+    loop: andi x6, x2, 0x40
+    beqz x6, even
+    addi x5, x5, 3
+    j next
+    even: addi x5, x5, 1
+    next: addi x4, x4, -1
+    bnez x4, loop
+    halt";
+
+fn spawn_lanes() -> Vec<ThreadCtx> {
+    (0..LANES)
+        .map(|i| {
+            let mut ctx = ThreadCtx::new();
+            ctx.x[1] = 0x1_0000 + i as u64 * 0x40;
+            ctx.x[2] = i as u64 * 0x40;
+            ctx
+        })
+        .collect()
+}
+
+fn reset_lanes(ctxs: &mut [ThreadCtx]) {
+    for (i, ctx) in ctxs.iter_mut().enumerate() {
+        ctx.reset();
+        ctx.x[1] = 0x1_0000 + i as u64 * 0x40;
+        ctx.x[2] = i as u64 * 0x40;
+    }
+}
+
+/// Runs the program to completion with the engine's pre-group per-lane
+/// loop; returns total lanes issued (kept live via `black_box`).
+fn run_per_lane(ctxs: &mut [ThreadCtx], prog: &Program, mem: &mut MainMemory) -> u64 {
+    let mut iface = MainMemoryIface::new(mem);
+    let mut memops: Vec<MemOp> = Vec::new();
+    let mut total = 0u64;
+    while let Some(min_pc) = ctxs.iter().filter(|c| !c.done).map(|c| c.pc).min() {
+        if prog.fetch(min_pc).is_none() {
+            break;
+        }
+        memops.clear();
+        let mut first: Option<Effect> = None;
+        for ctx in ctxs.iter_mut() {
+            if ctx.done || ctx.pc != min_pc {
+                continue;
+            }
+            total += 1;
+            match step(ctx, prog, &mut iface) {
+                Ok(effect) => {
+                    match &effect {
+                        Effect::Mem(op) => memops.push(*op),
+                        Effect::VMem(ops) => memops.extend_from_slice(ops),
+                        _ => {}
+                    }
+                    if first.is_none() {
+                        first = Some(effect);
+                    }
+                }
+                Err(_) => ctx.done = true,
+            }
+        }
+        black_box((&first, &memops));
+    }
+    total
+}
+
+/// Runs the program to completion through `step_group`.
+fn run_group(
+    ctxs: &mut [ThreadCtx],
+    prog: &Program,
+    mem: &mut MainMemory,
+    buf: &mut EffectBuf,
+) -> u64 {
+    let mut iface = MainMemoryIface::new(mem);
+    let mut total = 0u64;
+    while let Some(min_pc) = ctxs.iter().filter(|c| !c.done).map(|c| c.pc).min() {
+        if prog.fetch(min_pc).is_none() {
+            break;
+        }
+        let group = step_group(ctxs, min_pc, prog, &mut iface, buf);
+        total += u64::from(group.lanes);
+        black_box((group.effect, buf.memops()));
+    }
+    total
+}
+
+fn bench_pair(c: &mut Criterion, name: &str, source: &str) {
+    let prog = assemble(source).expect(name);
+    let mut mem = MainMemory::new();
+    let mut ctxs = spawn_lanes();
+    let mut buf = EffectBuf::new();
+
+    c.bench_function(&format!("interp/{name}/per_lane"), |b| {
+        b.iter(|| {
+            reset_lanes(&mut ctxs);
+            run_per_lane(&mut ctxs, &prog, &mut mem)
+        })
+    });
+    c.bench_function(&format!("interp/{name}/group"), |b| {
+        b.iter(|| {
+            reset_lanes(&mut ctxs);
+            run_group(&mut ctxs, &prog, &mut mem, &mut buf)
+        })
+    });
+}
+
+fn interp_benches(c: &mut Criterion) {
+    bench_pair(c, "alu-loop", ALU_LOOP);
+    bench_pair(c, "strided-vector-load", STRIDED_VECTOR_LOAD);
+    bench_pair(c, "divergent-branch", DIVERGENT_BRANCH);
+}
+
+criterion_group!(benches, interp_benches);
+criterion_main!(benches);

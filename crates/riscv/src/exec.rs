@@ -31,7 +31,7 @@ pub type VValue = [u8; VLEN_BYTES];
 ///
 /// Spawn convention (§III-E): `x1` holds the mapped µthread-pool address and
 /// `x2` the offset from the pool base; everything else is zero.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreadCtx {
     /// Program counter as an instruction index.
     pub pc: usize,
@@ -71,6 +71,21 @@ impl ThreadCtx {
         ctx.x[1] = addr;
         ctx.x[2] = offset;
         ctx
+    }
+
+    /// Resets this context to the [`ThreadCtx::new`] state in place.
+    ///
+    /// The engine reuses per-slot context storage across µthread waves:
+    /// rewriting the existing registers avoids reallocating the
+    /// `32 × VLEN` vector file for every spawn.
+    pub fn reset(&mut self) {
+        self.pc = 0;
+        self.x = [0; 32];
+        self.f = [0; 32];
+        self.v = [[0; VLEN_BYTES]; 32];
+        self.vl = (VLEN_BYTES / 8) as u32;
+        self.sew = Sew::E64;
+        self.done = false;
     }
 
     fn write_x(&mut self, rd: u8, v: u64) {
@@ -129,6 +144,107 @@ pub enum Effect {
     VCtl,
     /// The µthread terminated.
     Halted,
+}
+
+impl Effect {
+    /// This effect's payload-free classification — what the timing layer
+    /// keys latency and functional-unit accounting on.
+    pub fn class(&self) -> EffectClass {
+        match self {
+            Effect::Alu => EffectClass::Alu,
+            Effect::Mul => EffectClass::Mul,
+            Effect::Div => EffectClass::Div,
+            Effect::FpAlu => EffectClass::FpAlu,
+            Effect::Sfu => EffectClass::Sfu,
+            Effect::Branch => EffectClass::Branch,
+            Effect::Mem(_) => EffectClass::Mem,
+            Effect::VAlu => EffectClass::VAlu,
+            Effect::VFpu => EffectClass::VFpu,
+            Effect::VSfu => EffectClass::VSfu,
+            Effect::VMem(_) => EffectClass::VMem,
+            Effect::VCtl => EffectClass::VCtl,
+            Effect::Halted => EffectClass::Halted,
+        }
+    }
+}
+
+/// The [`Effect`] discriminant without payloads: a `Copy` classification of
+/// which functional unit an instruction occupies. Memory operands travel
+/// separately through an [`EffectBuf`], so reporting a group's effect never
+/// allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectClass {
+    /// Scalar integer ALU (1-cycle class).
+    Alu,
+    /// Scalar multiplier.
+    Mul,
+    /// Scalar divider (long latency).
+    Div,
+    /// Scalar FP add/mul/fma class.
+    FpAlu,
+    /// Scalar special-function (sqrt, exp, fdiv).
+    Sfu,
+    /// Branch/jump (scalar ALU class, may redirect fetch).
+    Branch,
+    /// Scalar memory operation (via the scalar LSU).
+    Mem,
+    /// Vector integer ALU.
+    VAlu,
+    /// Vector FP ALU (includes fma).
+    VFpu,
+    /// Vector special-function (vfdiv, vfexp).
+    VSfu,
+    /// Vector memory operation (via the vector LSU).
+    VMem,
+    /// vsetvli and register moves: scalar ALU class.
+    VCtl,
+    /// The µthread terminated.
+    Halted,
+}
+
+/// Reusable scratch that collects the memory operations of one group issue.
+///
+/// [`step_group`] clears and refills it per call; the engine owns one
+/// buffer and reuses it across issues, so the steady-state issue path
+/// performs no heap allocation (the capacity grows to the widest group
+/// once and then sticks).
+#[derive(Debug, Clone, Default)]
+pub struct EffectBuf {
+    memops: Vec<MemOp>,
+}
+
+impl EffectBuf {
+    /// An empty buffer (no capacity reserved yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the recorded operations, keeping capacity.
+    pub fn clear(&mut self) {
+        self.memops.clear();
+    }
+
+    /// The memory operations recorded by the last [`step_group`] call, in
+    /// lane order (atomics linearize in issue order, so order matters).
+    pub fn memops(&self) -> &[MemOp] {
+        &self.memops
+    }
+
+    fn push(&mut self, op: MemOp) {
+        self.memops.push(op);
+    }
+}
+
+/// Result of one group issue: the group's effect class (from the first
+/// lane that executed, `None` when every participating lane faulted) and
+/// how many lanes participated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupStep {
+    /// Effect class of the first successfully executed lane.
+    pub effect: Option<EffectClass>,
+    /// Number of lanes that participated (including faulted lanes, which
+    /// are marked done — they still occupied the issue slot).
+    pub lanes: u32,
 }
 
 /// Errors from functional execution.
@@ -1056,6 +1172,640 @@ pub fn step(
 
     ctx.pc = next_pc;
     Ok(effect)
+}
+
+/// Executes one SIMT group issue: every non-done lane whose pc equals
+/// `min_pc` executes the instruction at `min_pc`.
+///
+/// The instruction is fetched and matched **once** per group; each opcode
+/// then runs a tight per-lane loop (the engine's issue loop previously
+/// called [`step`] once per lane, re-matching the 37-variant instruction
+/// enum every time and allocating a fresh `Vec` for every vector memory
+/// effect). Memory operations are appended to `buf` in lane order —
+/// identical to concatenating the per-lane [`Effect`] payloads, which
+/// matters because atomics linearize in issue order — and the returned
+/// [`GroupStep`] carries the first executed lane's effect class.
+///
+/// Semantics are bit-for-bit those of calling [`step`] on each
+/// participating lane in slot order: `step` stays in-tree as the
+/// reference implementation, cold opcodes delegate to it directly, and
+/// `tests/asm_roundtrip.rs` drives both paths in lockstep over generated
+/// programs and the kernel corpus. A fetch past the end of the program
+/// marks every participating lane done, exactly as the engine treated
+/// per-lane [`ExecError::PcOutOfRange`].
+#[allow(clippy::too_many_lines)]
+pub fn step_group(
+    ctxs: &mut [ThreadCtx],
+    min_pc: usize,
+    prog: &Program,
+    mem: &mut dyn MemIface,
+    buf: &mut EffectBuf,
+) -> GroupStep {
+    buf.clear();
+    let mut lanes = 0u32;
+    let mut first: Option<EffectClass> = None;
+
+    // Per-lane loop over the participating (non-done, pc-matching) lanes.
+    macro_rules! lanes_do {
+        ($ctx:ident => $body:block) => {
+            for $ctx in ctxs.iter_mut() {
+                if $ctx.done || $ctx.pc != min_pc {
+                    continue;
+                }
+                lanes += 1;
+                $body
+            }
+        };
+    }
+
+    let Some(instr) = prog.fetch(min_pc) else {
+        lanes_do!(ctx => {
+            ctx.done = true;
+        });
+        return GroupStep {
+            effect: None,
+            lanes,
+        };
+    };
+
+    // `Some(class)` = uniform class for every lane of this opcode, recorded
+    // after the loop; `None` = the arm assigned `first` itself (divergent
+    // classes or delegation to the reference `step`).
+    let static_class: Option<EffectClass> = match instr {
+        Instr::Li { rd, imm } => {
+            let (rd, imm) = (*rd, *imm);
+            lanes_do!(ctx => {
+                ctx.write_x(rd, imm as u64);
+                ctx.pc += 1;
+            });
+            Some(EffectClass::Alu)
+        }
+        Instr::Lui { rd, imm } => {
+            let (rd, imm) = (*rd, *imm);
+            lanes_do!(ctx => {
+                ctx.write_x(rd, (imm as u64).wrapping_shl(12));
+                ctx.pc += 1;
+            });
+            Some(EffectClass::Alu)
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let (op, rd, rs1, rs2) = (*op, *rd, *rs1 as usize, *rs2 as usize);
+            lanes_do!(ctx => {
+                let a = ctx.x[rs1];
+                let b = ctx.x[rs2];
+                ctx.write_x(rd, int_op(op, a, b));
+                ctx.pc += 1;
+            });
+            Some(if op.is_muldiv() {
+                if matches!(op, IntOp::Mul | IntOp::Mulh) {
+                    EffectClass::Mul
+                } else {
+                    EffectClass::Div
+                }
+            } else {
+                EffectClass::Alu
+            })
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            let (op, rd, rs1, imm) = (*op, *rd, *rs1 as usize, *imm);
+            lanes_do!(ctx => {
+                let a = ctx.x[rs1];
+                ctx.write_x(rd, int_op(op, a, imm as u64));
+                ctx.pc += 1;
+            });
+            Some(EffectClass::Alu)
+        }
+        Instr::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let (width, signed, rd, rs1, offset) = (*width, *signed, *rd, *rs1 as usize, *offset);
+            let bytes = width.bytes();
+            lanes_do!(ctx => {
+                let addr = ctx.x[rs1].wrapping_add(offset as u64);
+                let mut lbuf = [0u8; 8];
+                mem.load(addr, &mut lbuf[..bytes as usize]);
+                let raw = u64::from_le_bytes(lbuf);
+                let val = if signed {
+                    match width {
+                        Width::B => raw as u8 as i8 as i64 as u64,
+                        Width::H => raw as u16 as i16 as i64 as u64,
+                        Width::W => raw as u32 as i32 as i64 as u64,
+                        Width::D => raw,
+                    }
+                } else {
+                    raw
+                };
+                ctx.write_x(rd, val);
+                buf.push(MemOp {
+                    addr,
+                    bytes,
+                    write: false,
+                    amo: false,
+                });
+                ctx.pc += 1;
+            });
+            Some(EffectClass::Mem)
+        }
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let (width, rs2, rs1, offset) = (*width, *rs2 as usize, *rs1 as usize, *offset);
+            let bytes = width.bytes();
+            lanes_do!(ctx => {
+                let addr = ctx.x[rs1].wrapping_add(offset as u64);
+                let data = ctx.x[rs2].to_le_bytes();
+                mem.store(addr, &data[..bytes as usize]);
+                buf.push(MemOp {
+                    addr,
+                    bytes,
+                    write: true,
+                    amo: false,
+                });
+                ctx.pc += 1;
+            });
+            Some(EffectClass::Mem)
+        }
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            let (cond, rs1, rs2, target) = (*cond, *rs1 as usize, *rs2 as usize, *target);
+            lanes_do!(ctx => {
+                let a = ctx.x[rs1];
+                let b = ctx.x[rs2];
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i64) < (b as i64),
+                    BranchCond::Ge => (a as i64) >= (b as i64),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                ctx.pc = if taken { target } else { ctx.pc + 1 };
+            });
+            Some(EffectClass::Branch)
+        }
+        Instr::Jal { rd, target } => {
+            let (rd, target) = (*rd, *target);
+            lanes_do!(ctx => {
+                ctx.write_x(rd, (ctx.pc as u64 + 1) * 4);
+                ctx.pc = target;
+            });
+            Some(EffectClass::Branch)
+        }
+        Instr::Jalr { rd, rs1, offset } => {
+            let (rd, rs1, offset) = (*rd, *rs1 as usize, *offset);
+            // Divergent classes: a lane whose target is byte address 0
+            // terminates (top-level `ret`), the others branch.
+            lanes_do!(ctx => {
+                let target_bytes = ctx.x[rs1].wrapping_add(offset as u64);
+                ctx.write_x(rd, (ctx.pc as u64 + 1) * 4);
+                let lane_class = if target_bytes == 0 {
+                    ctx.done = true;
+                    EffectClass::Halted
+                } else {
+                    ctx.pc = (target_bytes / 4) as usize;
+                    EffectClass::Branch
+                };
+                if first.is_none() {
+                    first = Some(lane_class);
+                }
+            });
+            None
+        }
+        Instr::Amo {
+            op,
+            width,
+            rd,
+            rs2,
+            rs1,
+        } => {
+            let (op, width, rd, rs2, rs1) = (*op, *width, *rd, *rs2 as usize, *rs1 as usize);
+            lanes_do!(ctx => {
+                let addr = ctx.x[rs1];
+                let old = mem.amo(op, width, addr, ctx.x[rs2]);
+                ctx.write_x(rd, old);
+                buf.push(MemOp {
+                    addr,
+                    bytes: width.bytes(),
+                    write: true,
+                    amo: true,
+                });
+                ctx.pc += 1;
+            });
+            Some(EffectClass::Mem)
+        }
+        Instr::Fence => {
+            lanes_do!(ctx => {
+                ctx.pc += 1;
+            });
+            Some(EffectClass::Alu)
+        }
+        Instr::Halt => {
+            lanes_do!(ctx => {
+                ctx.done = true;
+            });
+            Some(EffectClass::Halted)
+        }
+        Instr::FLoad {
+            precision,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let (precision, rd, rs1, offset) = (*precision, *rd as usize, *rs1 as usize, *offset);
+            let bytes = precision.bytes();
+            lanes_do!(ctx => {
+                let addr = ctx.x[rs1].wrapping_add(offset as u64);
+                let mut lbuf = [0u8; 8];
+                mem.load(addr, &mut lbuf[..bytes as usize]);
+                ctx.f[rd] = u64::from_le_bytes(lbuf);
+                buf.push(MemOp {
+                    addr,
+                    bytes,
+                    write: false,
+                    amo: false,
+                });
+                ctx.pc += 1;
+            });
+            Some(EffectClass::Mem)
+        }
+        Instr::FStore {
+            precision,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let (precision, rs2, rs1, offset) = (*precision, *rs2 as usize, *rs1 as usize, *offset);
+            let bytes = precision.bytes();
+            lanes_do!(ctx => {
+                let addr = ctx.x[rs1].wrapping_add(offset as u64);
+                let data = ctx.f[rs2].to_le_bytes();
+                mem.store(addr, &data[..bytes as usize]);
+                buf.push(MemOp {
+                    addr,
+                    bytes,
+                    write: true,
+                    amo: false,
+                });
+                ctx.pc += 1;
+            });
+            Some(EffectClass::Mem)
+        }
+        Instr::Vsetvli { rd, rs1, sew } => {
+            let (rd, rs1, sew) = (*rd, *rs1, *sew);
+            let max = (VLEN_BYTES as u32 * 8) / (sew.bytes() * 8);
+            lanes_do!(ctx => {
+                let requested = if rs1 == 0 {
+                    max
+                } else {
+                    (ctx.x[rs1 as usize] as u32).min(max)
+                };
+                ctx.vl = requested;
+                ctx.sew = sew;
+                ctx.write_x(rd, requested as u64);
+                ctx.pc += 1;
+            });
+            Some(EffectClass::VCtl)
+        }
+        Instr::VLoad {
+            eew,
+            vd,
+            rs1,
+            mode,
+            masked,
+        } => {
+            let (eew, vd, rs1, mode, masked) = (*eew, *vd as usize, *rs1 as usize, *mode, *masked);
+            let eb = eew.bytes();
+            lanes_do!(ctx => {
+                let base = ctx.x[rs1];
+                let vl = effective_vl(ctx, eew);
+                let mut out = ctx.v[vd];
+                match mode {
+                    VAddrMode::Unit => {
+                        if !masked {
+                            // Whole-group contiguous access; a VLEN-sized
+                            // stack buffer replaces `step`'s per-call heap
+                            // `Vec` (vsetvli clamps vl so `total` fits).
+                            let total = (vl * eb) as usize;
+                            let mut lbuf = [0u8; VLEN_BYTES];
+                            mem.load(base, &mut lbuf[..total]);
+                            out[..total].copy_from_slice(&lbuf[..total]);
+                            buf.push(MemOp {
+                                addr: base,
+                                bytes: vl * eb,
+                                write: false,
+                                amo: false,
+                            });
+                        } else {
+                            for i in 0..vl as usize {
+                                if !mask_bit(&ctx.v[0], i) {
+                                    continue;
+                                }
+                                let addr = base.wrapping_add(i as u64 * eb as u64);
+                                let mut lbuf = [0u8; 8];
+                                mem.load(addr, &mut lbuf[..eb as usize]);
+                                set_elem(&mut out, i, eew, u64::from_le_bytes(lbuf));
+                                buf.push(MemOp {
+                                    addr,
+                                    bytes: eb,
+                                    write: false,
+                                    amo: false,
+                                });
+                            }
+                        }
+                    }
+                    VAddrMode::Strided(rs2) => {
+                        let stride = ctx.x[rs2 as usize];
+                        for i in 0..vl as usize {
+                            if masked && !mask_bit(&ctx.v[0], i) {
+                                continue;
+                            }
+                            let addr = base.wrapping_add(stride.wrapping_mul(i as u64));
+                            let mut lbuf = [0u8; 8];
+                            mem.load(addr, &mut lbuf[..eb as usize]);
+                            set_elem(&mut out, i, eew, u64::from_le_bytes(lbuf));
+                            buf.push(MemOp {
+                                addr,
+                                bytes: eb,
+                                write: false,
+                                amo: false,
+                            });
+                        }
+                    }
+                    VAddrMode::Indexed(vs2) => {
+                        let idx = ctx.v[vs2 as usize];
+                        for i in 0..vl as usize {
+                            if masked && !mask_bit(&ctx.v[0], i) {
+                                continue;
+                            }
+                            let addr = base.wrapping_add(get_elem(&idx, i, eew));
+                            let mut lbuf = [0u8; 8];
+                            mem.load(addr, &mut lbuf[..eb as usize]);
+                            set_elem(&mut out, i, eew, u64::from_le_bytes(lbuf));
+                            buf.push(MemOp {
+                                addr,
+                                bytes: eb,
+                                write: false,
+                                amo: false,
+                            });
+                        }
+                    }
+                }
+                ctx.v[vd] = out;
+                ctx.pc += 1;
+            });
+            Some(EffectClass::VMem)
+        }
+        Instr::VStore {
+            eew,
+            vs3,
+            rs1,
+            mode,
+            masked,
+        } => {
+            let (eew, vs3, rs1, mode, masked) =
+                (*eew, *vs3 as usize, *rs1 as usize, *mode, *masked);
+            let eb = eew.bytes();
+            lanes_do!(ctx => {
+                let base = ctx.x[rs1];
+                let vl = effective_vl(ctx, eew);
+                let src = ctx.v[vs3];
+                match mode {
+                    VAddrMode::Unit if !masked => {
+                        let total = vl * eb;
+                        mem.store(base, &src[..total as usize]);
+                        buf.push(MemOp {
+                            addr: base,
+                            bytes: total,
+                            write: true,
+                            amo: false,
+                        });
+                    }
+                    VAddrMode::Unit => {
+                        for i in 0..vl as usize {
+                            if !mask_bit(&ctx.v[0], i) {
+                                continue;
+                            }
+                            let addr = base.wrapping_add(i as u64 * eb as u64);
+                            let val = get_elem(&src, i, eew).to_le_bytes();
+                            mem.store(addr, &val[..eb as usize]);
+                            buf.push(MemOp {
+                                addr,
+                                bytes: eb,
+                                write: true,
+                                amo: false,
+                            });
+                        }
+                    }
+                    VAddrMode::Strided(rs2) => {
+                        let stride = ctx.x[rs2 as usize];
+                        for i in 0..vl as usize {
+                            if masked && !mask_bit(&ctx.v[0], i) {
+                                continue;
+                            }
+                            let addr = base.wrapping_add(stride.wrapping_mul(i as u64));
+                            let val = get_elem(&src, i, eew).to_le_bytes();
+                            mem.store(addr, &val[..eb as usize]);
+                            buf.push(MemOp {
+                                addr,
+                                bytes: eb,
+                                write: true,
+                                amo: false,
+                            });
+                        }
+                    }
+                    VAddrMode::Indexed(vs2) => {
+                        let idx = ctx.v[vs2 as usize];
+                        for i in 0..vl as usize {
+                            if masked && !mask_bit(&ctx.v[0], i) {
+                                continue;
+                            }
+                            let addr = base.wrapping_add(get_elem(&idx, i, eew));
+                            let val = get_elem(&src, i, eew).to_le_bytes();
+                            mem.store(addr, &val[..eb as usize]);
+                            buf.push(MemOp {
+                                addr,
+                                bytes: eb,
+                                write: true,
+                                amo: false,
+                            });
+                        }
+                    }
+                }
+                ctx.pc += 1;
+            });
+            Some(EffectClass::VMem)
+        }
+        Instr::VIntOp {
+            op,
+            vd,
+            vs2,
+            operand,
+            masked,
+        } => {
+            let (op, vd, vs2, operand, masked) =
+                (*op, *vd as usize, *vs2 as usize, *operand, *masked);
+            lanes_do!(ctx => {
+                let vl = ctx.vl as usize;
+                let sew = ctx.sew;
+                let b = ctx.v[vs2];
+                let mut out = ctx.v[vd];
+                for i in 0..vl {
+                    if masked && !mask_bit(&ctx.v[0], i) {
+                        continue;
+                    }
+                    let rhs = v_operand_int(ctx, &operand, i, sew);
+                    let lhs = get_elem(&b, i, sew);
+                    let val = match op {
+                        VIntOp::Add => lhs.wrapping_add(rhs),
+                        VIntOp::Sub => lhs.wrapping_sub(rhs),
+                        VIntOp::Mul => lhs.wrapping_mul(rhs),
+                        VIntOp::And => lhs & rhs,
+                        VIntOp::Or => lhs | rhs,
+                        VIntOp::Xor => lhs ^ rhs,
+                        VIntOp::Sll => lhs << (rhs & 63),
+                        VIntOp::Srl => lhs >> (rhs & 63),
+                        VIntOp::Min => {
+                            (get_elem_signed(&b, i, sew)).min(sign_at(rhs, sew)) as u64
+                        }
+                        VIntOp::Max => {
+                            (get_elem_signed(&b, i, sew)).max(sign_at(rhs, sew)) as u64
+                        }
+                    };
+                    set_elem(&mut out, i, sew, val);
+                }
+                ctx.v[vd] = out;
+                ctx.pc += 1;
+            });
+            Some(EffectClass::VAlu)
+        }
+        Instr::VFpOp {
+            op,
+            vd,
+            vs2,
+            operand,
+            masked,
+        } => {
+            let (op, vd, vs2, operand, masked) =
+                (*op, *vd as usize, *vs2 as usize, *operand, *masked);
+            lanes_do!(ctx => {
+                let vl = ctx.vl as usize;
+                let sew = ctx.sew;
+                let b = ctx.v[vs2];
+                let mut out = ctx.v[vd];
+                for i in 0..vl {
+                    if masked && !mask_bit(&ctx.v[0], i) {
+                        continue;
+                    }
+                    let rhs = v_operand_float(ctx, &operand, i, sew);
+                    let lhs = get_felem(&b, i, sew);
+                    let val = match op {
+                        VFpOp::Add => lhs + rhs,
+                        VFpOp::Sub => lhs - rhs,
+                        VFpOp::Mul => lhs * rhs,
+                        VFpOp::Div => lhs / rhs,
+                        VFpOp::Macc => get_felem(&out, i, sew) + lhs * rhs,
+                        VFpOp::Min => lhs.min(rhs),
+                        VFpOp::Max => lhs.max(rhs),
+                        VFpOp::Exp => lhs.exp(),
+                    };
+                    set_felem(&mut out, i, sew, val);
+                }
+                ctx.v[vd] = out;
+                ctx.pc += 1;
+            });
+            Some(match op {
+                VFpOp::Div | VFpOp::Exp => EffectClass::VSfu,
+                _ => EffectClass::VFpu,
+            })
+        }
+        Instr::VAmo {
+            op,
+            eew,
+            vd,
+            rs1,
+            vs2,
+            masked,
+        } => {
+            let (op, eew, vd, rs1, vs2, masked) = (
+                *op,
+                *eew,
+                *vd as usize,
+                *rs1 as usize,
+                *vs2 as usize,
+                *masked,
+            );
+            let eb = eew.bytes();
+            let width = if eb == 4 { Width::W } else { Width::D };
+            lanes_do!(ctx => {
+                let base = ctx.x[rs1];
+                let vl = effective_vl(ctx, eew);
+                let idx = ctx.v[vs2];
+                let src = ctx.v[vd];
+                let mut out = src;
+                for i in 0..vl as usize {
+                    if masked && !mask_bit(&ctx.v[0], i) {
+                        continue;
+                    }
+                    let addr = base.wrapping_add(get_elem(&idx, i, eew));
+                    let old = mem.amo(op, width, addr, get_elem(&src, i, eew));
+                    set_elem(&mut out, i, eew, old);
+                    buf.push(MemOp {
+                        addr,
+                        bytes: eb,
+                        write: true,
+                        amo: true,
+                    });
+                }
+                ctx.v[vd] = out;
+                ctx.pc += 1;
+            });
+            Some(EffectClass::VMem)
+        }
+        // Cold compute-only opcodes (scalar FP, reductions, moves, ...):
+        // delegate to the reference `step`. None of these carry memory
+        // payloads, so the delegation stays allocation-free too.
+        _ => {
+            lanes_do!(ctx => {
+                match step(ctx, prog, mem) {
+                    Ok(effect) => {
+                        match &effect {
+                            Effect::Mem(op) => buf.push(*op),
+                            Effect::VMem(ops) => {
+                                for op in ops {
+                                    buf.push(*op);
+                                }
+                            }
+                            _ => {}
+                        }
+                        if first.is_none() {
+                            first = Some(effect.class());
+                        }
+                    }
+                    Err(_) => ctx.done = true,
+                }
+            });
+            None
+        }
+    };
+
+    if lanes > 0 && first.is_none() {
+        first = static_class;
+    }
+    GroupStep {
+        effect: first,
+        lanes,
+    }
 }
 
 /// vl for an explicit element width: scale the configured vl so the same

@@ -18,7 +18,11 @@
 //!   µthread's architectural state; [`exec::step`] executes one instruction
 //!   against a [`exec::MemIface`] and returns an [`exec::Effect`] that the
 //!   timing layer (in `m2ndp-core`) charges to functional units and the
-//!   memory system.
+//!   memory system. [`exec::step_group`] is the engine's hot path: it
+//!   decodes an instruction once and executes it across a whole SIMT
+//!   group, reporting memory operations through a reusable
+//!   [`exec::EffectBuf`] — semantically identical to per-lane `step`,
+//!   which stays in-tree as the reference implementation.
 //!
 //! Two deliberate deviations from stock RVV, both called out in the paper:
 //! µthreads receive their mapped address and offset in `x1`/`x2` when
@@ -61,9 +65,12 @@ pub mod program;
 
 pub use asm::{assemble, AsmError};
 pub use disasm::{disassemble, DisasmError};
-pub use exec::{step, Effect, ExecError, MemIface, MemOp, ThreadCtx};
+pub use exec::{
+    step, step_group, Effect, EffectBuf, EffectClass, ExecError, GroupStep, MemIface, MemOp,
+    ThreadCtx,
+};
 pub use instr::Instr;
-pub use program::Program;
+pub use program::{classify, FuClass, InstrClass, Program};
 
 /// Vector register length in bytes (VLEN = 256 bits, Table IV).
 pub const VLEN_BYTES: usize = 32;

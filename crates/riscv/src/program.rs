@@ -2,16 +2,138 @@
 
 use std::collections::HashMap;
 
-use crate::instr::Instr;
+use crate::exec::EffectClass;
+use crate::instr::{FpOp, Instr, IntOp, VFpOp};
+
+/// ISA-level functional-unit class of an instruction, decoded once at
+/// assembly time. Configuration-independent: the engine maps the scalar
+/// classes onto vector units when a configuration has no scalar units
+/// (GPU mode, §III-D A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Scalar integer ALU.
+    SAlu,
+    /// Scalar special-function unit (div/rem, fdiv, fsqrt, fexp).
+    SSfu,
+    /// Scalar load/store unit.
+    SLsu,
+    /// Vector ALU (all vector compute, moves, and vsetvli).
+    VAlu,
+    /// Vector special-function unit (vfdiv, vfexp).
+    VSfu,
+    /// Vector load/store unit.
+    VLsu,
+}
+
+/// Pre-decoded issue metadata for one instruction: the functional unit it
+/// occupies and its latency class (the [`EffectClass`] the instruction
+/// statically produces — `jalr` reports [`EffectClass::Branch`] here and
+/// resolves its dynamic `Halted` case at execution).
+///
+/// [`Program::new`] derives one entry per instruction, so the table is
+/// rebuilt identically whenever a program is (re)assembled and never needs
+/// to be serialized or hand-maintained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrClass {
+    /// Which functional unit the instruction occupies.
+    pub fu: FuClass,
+    /// Latency class the timing layer charges for it.
+    pub effect: EffectClass,
+}
+
+/// Statically classifies one instruction ([`Program::new`] caches the
+/// result per pc as [`Program::classes`]).
+pub fn classify(instr: &Instr) -> InstrClass {
+    let effect = match instr {
+        Instr::Li { .. }
+        | Instr::Lui { .. }
+        | Instr::OpImm { .. }
+        | Instr::Fence
+        | Instr::FMvToInt { .. }
+        | Instr::FMvFromInt { .. } => EffectClass::Alu,
+        Instr::Op { op, .. } => {
+            if op.is_muldiv() {
+                if matches!(op, IntOp::Mul | IntOp::Mulh) {
+                    EffectClass::Mul
+                } else {
+                    EffectClass::Div
+                }
+            } else {
+                EffectClass::Alu
+            }
+        }
+        Instr::Load { .. }
+        | Instr::Store { .. }
+        | Instr::Amo { .. }
+        | Instr::FLoad { .. }
+        | Instr::FStore { .. } => EffectClass::Mem,
+        Instr::Branch { .. } | Instr::Jal { .. } | Instr::Jalr { .. } => EffectClass::Branch,
+        Instr::Halt => EffectClass::Halted,
+        Instr::FOp { op, .. } => match op {
+            FpOp::Div | FpOp::Sqrt | FpOp::Exp => EffectClass::Sfu,
+            _ => EffectClass::FpAlu,
+        },
+        Instr::FMadd { .. }
+        | Instr::FCmp { .. }
+        | Instr::FCvtFromInt { .. }
+        | Instr::FCvtToInt { .. }
+        | Instr::FCvtPrec { .. } => EffectClass::FpAlu,
+        Instr::Vsetvli { .. }
+        | Instr::VMv { .. }
+        | Instr::VMvToScalar { .. }
+        | Instr::VMvFromScalar { .. }
+        | Instr::VFMvToScalar { .. } => EffectClass::VCtl,
+        Instr::VLoad { .. } | Instr::VStore { .. } | Instr::VAmo { .. } => EffectClass::VMem,
+        Instr::VIntOp { .. }
+        | Instr::VCmp { .. }
+        | Instr::Vid { .. }
+        | Instr::VMerge { .. }
+        | Instr::VSlidedown { .. } => EffectClass::VAlu,
+        Instr::VFpOp { op, .. } => match op {
+            VFpOp::Div | VFpOp::Exp => EffectClass::VSfu,
+            _ => EffectClass::VFpu,
+        },
+        Instr::VRed { .. } => EffectClass::VFpu,
+    };
+    let fu = match instr {
+        Instr::Load { .. }
+        | Instr::Store { .. }
+        | Instr::Amo { .. }
+        | Instr::FLoad { .. }
+        | Instr::FStore { .. } => FuClass::SLsu,
+        Instr::VLoad { .. } | Instr::VStore { .. } | Instr::VAmo { .. } => FuClass::VLsu,
+        Instr::Op {
+            op: IntOp::Div | IntOp::Divu | IntOp::Rem | IntOp::Remu,
+            ..
+        } => FuClass::SSfu,
+        Instr::FOp {
+            op: FpOp::Div | FpOp::Sqrt | FpOp::Exp,
+            ..
+        } => FuClass::SSfu,
+        Instr::VFpOp {
+            op: VFpOp::Div | VFpOp::Exp,
+            ..
+        } => FuClass::VSfu,
+        i if i.is_vector() => FuClass::VAlu,
+        _ => FuClass::SAlu,
+    };
+    InstrClass { fu, effect }
+}
 
 /// An assembled program: a flat instruction vector with resolved branch
 /// targets, plus the label map and register-usage summary used at kernel
 /// registration time (Table II's `numIntRegs`/`numFloatRegs`/`numVectorRegs`
 /// arguments).
+///
+/// `classes` is a derived pre-decoded side table (one [`InstrClass`] per
+/// instruction); it is a pure function of `instrs`, so the derived
+/// `PartialEq` stays lawful and round-tripping through the disassembler
+/// reproduces it bit-identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     instrs: Vec<Instr>,
     labels: HashMap<String, usize>,
+    classes: Vec<InstrClass>,
 }
 
 /// Architectural register usage of a program.
@@ -26,9 +148,15 @@ pub struct RegUsage {
 }
 
 impl Program {
-    /// Creates a program from parts (used by the assembler).
+    /// Creates a program from parts (used by the assembler), pre-decoding
+    /// the per-instruction [`InstrClass`] table.
     pub fn new(instrs: Vec<Instr>, labels: HashMap<String, usize>) -> Self {
-        Self { instrs, labels }
+        let classes = instrs.iter().map(classify).collect();
+        Self {
+            instrs,
+            labels,
+            classes,
+        }
     }
 
     /// The instructions.
@@ -39,6 +167,18 @@ impl Program {
     /// Instruction at `pc`, if in range.
     pub fn fetch(&self, pc: usize) -> Option<&Instr> {
         self.instrs.get(pc)
+    }
+
+    /// Pre-decoded issue metadata for the instruction at `pc`, if in
+    /// range. An array lookup — the engine's dispatch scan uses this
+    /// instead of re-matching the instruction enum every cycle.
+    pub fn class_at(&self, pc: usize) -> Option<InstrClass> {
+        self.classes.get(pc).copied()
+    }
+
+    /// The pre-decoded class table, one entry per instruction.
+    pub fn classes(&self) -> &[InstrClass] {
+        &self.classes
     }
 
     /// Number of instructions (the paper's static instruction count,
@@ -280,5 +420,73 @@ mod tests {
         assert!(p.fetch(0).is_some());
         assert!(p.fetch(1).is_none());
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn class_table_is_derived_per_instruction() {
+        use crate::exec::EffectClass;
+        use crate::instr::{FpOp, Precision, VFpOp, VOperand};
+        let instrs = vec![
+            Instr::Li { rd: 1, imm: 0 },
+            Instr::Op {
+                op: IntOp::Div,
+                rd: 1,
+                rs1: 1,
+                rs2: 1,
+            },
+            Instr::Op {
+                op: IntOp::Mul,
+                rd: 1,
+                rs1: 1,
+                rs2: 1,
+            },
+            Instr::Load {
+                width: Width::D,
+                signed: true,
+                rd: 1,
+                rs1: 1,
+                offset: 0,
+            },
+            Instr::FOp {
+                op: FpOp::Sqrt,
+                precision: Precision::D,
+                rd: 0,
+                rs1: 0,
+                rs2: 0,
+            },
+            Instr::VFpOp {
+                op: VFpOp::Div,
+                vd: 1,
+                vs2: 2,
+                operand: VOperand::Vector(3),
+                masked: false,
+            },
+            Instr::VIntOp {
+                op: crate::instr::VIntOp::Add,
+                vd: 1,
+                vs2: 2,
+                operand: VOperand::Vector(3),
+                masked: false,
+            },
+            Instr::Halt,
+        ];
+        let p = Program::new(instrs, HashMap::new());
+        assert_eq!(p.classes().len(), p.len());
+        let expect = [
+            (FuClass::SAlu, EffectClass::Alu),
+            (FuClass::SSfu, EffectClass::Div),
+            (FuClass::SAlu, EffectClass::Mul),
+            (FuClass::SLsu, EffectClass::Mem),
+            (FuClass::SSfu, EffectClass::Sfu),
+            (FuClass::VSfu, EffectClass::VSfu),
+            (FuClass::VAlu, EffectClass::VAlu),
+            (FuClass::SAlu, EffectClass::Halted),
+        ];
+        for (pc, (fu, effect)) in expect.iter().enumerate() {
+            let c = p.class_at(pc).unwrap();
+            assert_eq!(c.fu, *fu, "pc {pc}");
+            assert_eq!(c.effect, *effect, "pc {pc}");
+        }
+        assert!(p.class_at(p.len()).is_none());
     }
 }

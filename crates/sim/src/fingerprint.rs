@@ -66,6 +66,24 @@ impl Fingerprint {
         self.ordered = h;
     }
 
+    /// Folds a byte slice in, order-sensitively, with a leading length so
+    /// `["ab","c"]` and `["a","bc"]` digest differently. Used by the
+    /// interpreter differential tests to fold µthread register files and
+    /// memory logs without per-word loops at every call site.
+    pub fn mix_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.ordered;
+        for b in (bytes.len() as u64)
+            .to_le_bytes()
+            .iter()
+            .copied()
+            .chain(bytes.iter().copied())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.ordered = h;
+    }
+
     /// Folds one item into the commutative lane: items contribute the same
     /// digest regardless of visit order, so physically reordered but
     /// logically identical containers fingerprint equal.
@@ -171,6 +189,19 @@ mod tests {
         c.mix_unordered(0);
         c.mix_unordered(3);
         assert_ne!(a.value(), c.value());
+    }
+
+    #[test]
+    fn mix_bytes_is_length_prefixed() {
+        // Same concatenated byte stream, different chunking → different
+        // digests (the length prefix frames each slice).
+        let mut a = Fingerprint::new();
+        a.mix_bytes(b"ab");
+        a.mix_bytes(b"c");
+        let mut b = Fingerprint::new();
+        b.mix_bytes(b"a");
+        b.mix_bytes(b"bc");
+        assert_ne!(a.value(), b.value());
     }
 
     #[test]

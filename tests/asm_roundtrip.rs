@@ -18,10 +18,13 @@
 use std::collections::HashMap;
 
 use m2ndp_mem::MainMemory;
-use m2ndp_riscv::exec::{amo_on_memory, step, MemIface, ThreadCtx};
+use m2ndp_riscv::exec::{
+    amo_on_memory, step, step_group, Effect, EffectBuf, MemIface, MemOp, ThreadCtx,
+};
 use m2ndp_riscv::gen::gen_program;
 use m2ndp_riscv::instr::{AmoOp, Width};
 use m2ndp_riscv::{assemble, disassemble, Instr, Program};
+use m2ndp_sim::fingerprint::Fingerprint;
 use proptest::prelude::*;
 
 /// Writes a failure artifact and returns its path for the panic message.
@@ -259,5 +262,168 @@ fn corpus_kernels_execute_identically_after_roundtrip() {
         assert_eq!(t1, t2, "{} effect trace", p.name);
         assert_eq!(m1, m2, "{} memory log", p.name);
         assert_eq!(c1, c2, "{} final context", p.name);
+    }
+}
+
+// ---------- group-dispatch differential (step_group ≡ per-lane step) ----------
+
+/// Lanes per SIMT group in the differential runs. Lane `i` spawns with
+/// distinct `x1`/`x2` so data-dependent branches diverge across the group.
+const DIFF_LANES: usize = 4;
+
+fn spawn_lanes() -> Vec<ThreadCtx> {
+    (0..DIFF_LANES)
+        .map(|i| {
+            let mut ctx = ThreadCtx::new();
+            ctx.x[1] = 0x8000 + i as u64 * 0x40;
+            ctx.x[2] = i as u64 * 0x40;
+            ctx
+        })
+        .collect()
+}
+
+/// Digest of the group's final architectural state: every lane's registers
+/// (scalar, float, vector, vl/sew/pc/done) plus the memory log, folded
+/// through [`Fingerprint::mix_bytes`].
+fn group_digest(ctxs: &[ThreadCtx], log: &[String]) -> u64 {
+    let mut fp = Fingerprint::new();
+    for ctx in ctxs {
+        fp.mix(ctx.pc as u64);
+        fp.mix(u64::from(ctx.done));
+        fp.mix(u64::from(ctx.vl));
+        fp.mix_bytes(format!("{:?}", ctx.sew).as_bytes());
+        for &x in &ctx.x {
+            fp.mix(x);
+        }
+        for &f in &ctx.f {
+            fp.mix(f);
+        }
+        for v in &ctx.v {
+            fp.mix_bytes(v);
+        }
+    }
+    for line in log {
+        fp.mix_bytes(line.as_bytes());
+    }
+    fp.value()
+}
+
+/// Reference semantics: the engine's original per-lane loop. Scans for the
+/// minimum pc over non-done lanes, then `step`s every lane parked there in
+/// lane order, collecting the first Ok effect's class, the lane count, and
+/// the memory operations in lane order.
+fn run_group_reference(
+    program: &Program,
+    max_issues: usize,
+) -> (Vec<String>, Vec<String>, Vec<ThreadCtx>) {
+    let mut mem = MaskedMem::new();
+    let mut ctxs = spawn_lanes();
+    let mut trace = Vec::new();
+    for _ in 0..max_issues {
+        let Some(min_pc) = ctxs.iter().filter(|c| !c.done).map(|c| c.pc).min() else {
+            break;
+        };
+        if program.fetch(min_pc).is_none() {
+            break; // ran off the end: the engine retires the slot here
+        }
+        let mut memops: Vec<MemOp> = Vec::new();
+        let mut first: Option<String> = None;
+        let mut lanes = 0u32;
+        for ctx in ctxs.iter_mut() {
+            if ctx.done || ctx.pc != min_pc {
+                continue;
+            }
+            lanes += 1;
+            match step(ctx, program, &mut mem) {
+                Ok(effect) => {
+                    match &effect {
+                        Effect::Mem(op) => memops.push(*op),
+                        Effect::VMem(ops) => memops.extend_from_slice(ops),
+                        _ => {}
+                    }
+                    if first.is_none() {
+                        first = Some(format!("{:?}", effect.class()));
+                    }
+                }
+                Err(_) => ctx.done = true,
+            }
+        }
+        trace.push(format!("{first:?} lanes={lanes} memops={memops:?}"));
+    }
+    (trace, mem.log, ctxs)
+}
+
+/// The optimized path: `step_group` over the same spawn state.
+fn run_group_optimized(
+    program: &Program,
+    max_issues: usize,
+) -> (Vec<String>, Vec<String>, Vec<ThreadCtx>) {
+    let mut mem = MaskedMem::new();
+    let mut ctxs = spawn_lanes();
+    let mut buf = EffectBuf::new();
+    let mut trace = Vec::new();
+    for _ in 0..max_issues {
+        let Some(min_pc) = ctxs.iter().filter(|c| !c.done).map(|c| c.pc).min() else {
+            break;
+        };
+        if program.fetch(min_pc).is_none() {
+            break;
+        }
+        let group = step_group(&mut ctxs, min_pc, program, &mut mem, &mut buf);
+        let first = group.effect.map(|c| format!("{c:?}"));
+        trace.push(format!(
+            "{first:?} lanes={} memops={:?}",
+            group.lanes,
+            buf.memops()
+        ));
+    }
+    (trace, mem.log, ctxs)
+}
+
+/// Asserts `step_group` ≡ per-lane `step` for one program, dumping an
+/// artifact on divergence.
+fn assert_group_equivalence(name: &str, program: &Program, max_issues: usize) {
+    let (tr, mr, cr) = run_group_reference(program, max_issues);
+    let (tg, mg, cg) = run_group_optimized(program, max_issues);
+    let dr = group_digest(&cr, &mr);
+    let dg = group_digest(&cg, &mg);
+    if tr != tg || mr != mg || cr != cg || dr != dg {
+        let text = disassemble(program).unwrap_or_else(|_| format!("{program:#?}"));
+        let path = dump_artifact(
+            &format!("group-differential-{name}.s"),
+            &format!(
+                "// case {name}\n{text}\n\n/*\nissue trace (reference): {tr:#?}\nissue trace (group): {tg:#?}\nmem (reference): {mr:#?}\nmem (group): {mg:#?}\nctx (reference): {cr:#?}\nctx (group): {cg:#?}\ndigest: {dr:#x} vs {dg:#x}\n*/\n"
+            ),
+        );
+        panic!("{name}: step_group diverged from per-lane step; artifact at {path}");
+    }
+}
+
+#[test]
+fn group_dispatch_matches_per_lane_step_on_generated_programs() {
+    for seed in 0..u64::from(cases(128)) {
+        let program = gen_program(seed.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(3));
+        assert_group_equivalence(&format!("seed-{seed:016x}"), &program, 256);
+    }
+}
+
+proptest! {
+    /// The same equivalence under proptest's own seed schedule (CI raises
+    /// `PROPTEST_CASES`, so this leg covers fresh corners every run).
+    #[test]
+    fn group_dispatch_matches_per_lane_step_proptest(seed in any::<u64>()) {
+        let program = gen_program(seed);
+        assert_group_equivalence(&format!("prop-{seed:016x}"), &program, 256);
+    }
+}
+
+/// Every shipped kernel runs through both dispatch paths with divergent
+/// multi-lane groups — real control flow and vector memory, not just the
+/// generator's distribution.
+#[test]
+fn group_dispatch_matches_per_lane_step_on_corpus_kernels() {
+    for p in m2ndp_workloads::programs::corpus() {
+        let program = assemble(p.source).expect(p.name);
+        assert_group_equivalence(p.name, &program, 512);
     }
 }
